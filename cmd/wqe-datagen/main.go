@@ -1,0 +1,46 @@
+// Command wqe-datagen emits the synthetic dataset analogs used by the
+// experiment harness as graph JSON files.
+//
+//	wqe-datagen -dataset dbpedia-like -nodes 20000 -seed 7 -out g.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wqe/internal/datagen"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", datagen.DatasetKnowledge,
+			"one of: "+strings.Join(datagen.AllDatasets(), ", "))
+		nodes = flag.Int("nodes", 20000, "approximate node count")
+		seed  = flag.Int64("seed", 7, "generator seed")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	g, err := datagen.Generate(*dataset, *nodes, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wqe-datagen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wqe-datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "wqe-datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", g)
+}

@@ -1,0 +1,65 @@
+// Command wqe-experiments regenerates the paper's evaluation tables
+// and figures (§7) over the synthetic dataset analogs.
+//
+//	wqe-experiments                  # run everything at default scale
+//	wqe-experiments -exp 1a,2i       # only Fig 10(a) and Fig 10(i)
+//	wqe-experiments -scale 20000 -queries 50
+//
+// Experiment ids: 1a-1h (Fig 10(a)-(h), efficiency), 2i-2k (Fig
+// 10(i)-(k), effectiveness), 3 (Fig 10(l), anytime), 4a-4c (Fig 12,
+// Why-Many/Why-Empty), 5 (simulated user study).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wqe/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Int("scale", 12000, "approximate nodes per dataset")
+		queries = flag.Int("queries", 20, "Why-questions per measurement point")
+		seed    = flag.Int64("seed", 7, "workload seed")
+		steps   = flag.Int("maxsteps", 4000, "chase step cap per run")
+		limit   = flag.Duration("timelimit", 0, "per-run anytime time limit (0 = none)")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		Scale:     *scale,
+		Queries:   *queries,
+		Seed:      *seed,
+		MaxSteps:  *steps,
+		TimeLimit: *limit,
+	}
+	h := bench.New(opts)
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range bench.Experiments {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	fmt.Printf("wqe-experiments: scale=%d queries=%d seed=%d maxsteps=%d\n\n",
+		opts.Scale, opts.Queries, opts.Seed, opts.MaxSteps)
+	for _, id := range ids {
+		run, ok := bench.Lookup(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wqe-experiments: unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tbl := run(h)
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

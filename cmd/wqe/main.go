@@ -1,0 +1,190 @@
+// Command wqe answers a Why-question over an attributed graph: given a
+// graph (JSON), a pattern query (JSON), and an exemplar (JSON), it
+// computes a budgeted query rewrite whose answers are closest to the
+// exemplar and prints the rewrite, its answers, and the differential
+// table explaining every change.
+//
+//	wqe -graph g.json -query q.json -exemplar e.json -algo answ -budget 3
+//	wqe -demo          # run the paper's Fig 1 cellphone example
+//
+// Algorithms: answ (exact anytime), topk, heu (beam search), whymany,
+// whyempty, fmansw (baseline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wqe/internal/chase"
+	"wqe/internal/datagen"
+	"wqe/internal/exemplar"
+	"wqe/internal/graph"
+	"wqe/internal/query"
+)
+
+func main() {
+	var (
+		graphPath    = flag.String("graph", "", "graph JSON file")
+		queryPath    = flag.String("query", "", "pattern query JSON file")
+		exemplarPath = flag.String("exemplar", "", "exemplar JSON file")
+		algo         = flag.String("algo", "answ", "answ | topk | heu | whymany | whyempty | fmansw")
+		k            = flag.Int("k", 3, "rewrites to return for -algo topk")
+		beam         = flag.Int("beam", 3, "beam width for -algo heu")
+		budget       = flag.Float64("budget", 3, "operator cost budget B")
+		theta        = flag.Float64("theta", 1, "vsim closeness threshold θ")
+		lambda       = flag.Float64("lambda", 1, "irrelevant-match penalty λ")
+		maxBound     = flag.Int("maxbound", 3, "edge bound cap b_m")
+		demo         = flag.Bool("demo", false, "run the built-in Fig 1 example")
+	)
+	flag.Parse()
+
+	if err := run(*graphPath, *queryPath, *exemplarPath, *algo, *k, *beam,
+		*budget, *theta, *lambda, *maxBound, *demo); err != nil {
+		fmt.Fprintln(os.Stderr, "wqe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, queryPath, exemplarPath, algo string, k, beam int,
+	budget, theta, lambda float64, maxBound int, demo bool) error {
+
+	var (
+		g *graph.Graph
+		q *query.Query
+		e *exemplar.Exemplar
+	)
+	if demo {
+		f := datagen.NewFig1()
+		g, q, e = f.G, f.Q, f.E
+		if budget == 3 {
+			budget = 4 // the Fig 1 optimum needs the Example 3.3 budget
+		}
+	} else {
+		if graphPath == "" || queryPath == "" || exemplarPath == "" {
+			return fmt.Errorf("need -graph, -query, and -exemplar (or -demo)")
+		}
+		var err error
+		if g, err = loadGraph(graphPath); err != nil {
+			return err
+		}
+		if q, err = loadQuery(queryPath); err != nil {
+			return err
+		}
+		if e, err = loadExemplar(exemplarPath); err != nil {
+			return err
+		}
+	}
+
+	cfg := chase.DefaultConfig()
+	cfg.Budget = budget
+	cfg.Theta = theta
+	cfg.Lambda = lambda
+	cfg.MaxBound = maxBound
+	w, err := chase.NewWhy(g, q, e, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("graph:   ", g)
+	fmt.Println("query Q: ", q)
+	fmt.Println("exemplar:", e)
+	root := w.Matcher.Match(q)
+	rm, im, rc, ic := w.Partition(root)
+	fmt.Printf("Q(G) = %s\n", nodeList(g, root.Answer))
+	fmt.Printf("relevance: |RM|=%d |IM|=%d |RC|=%d |IC|=%d  cl* = %.4f\n\n",
+		len(rm), len(im), len(rc), len(ic), w.ClStar)
+
+	var answers []chase.Answer
+	switch algo {
+	case "answ":
+		answers = []chase.Answer{w.AnsW()}
+	case "topk":
+		answers = w.TopK(k)
+	case "heu":
+		answers = []chase.Answer{w.AnsHeu(beam)}
+	case "whymany":
+		answers = []chase.Answer{w.ApxWhyM()}
+	case "whyempty":
+		answers = []chase.Answer{w.AnsWE()}
+	case "fmansw":
+		answers = []chase.Answer{w.FMAnsW()}
+	default:
+		return fmt.Errorf("unknown -algo %q", algo)
+	}
+
+	for i, a := range answers {
+		if len(answers) > 1 {
+			fmt.Printf("— rewrite #%d —\n", i+1)
+		}
+		printAnswer(g, a)
+	}
+	fmt.Printf("search: %d chase steps, %d states, %v elapsed\n",
+		w.Stats.Steps, w.Stats.States, w.Stats.Elapsed.Round(1000))
+	return nil
+}
+
+func printAnswer(g *graph.Graph, a chase.Answer) {
+	fmt.Println("rewrite Q':", a.Query)
+	fmt.Printf("operators (cost %.2f):\n", a.Cost)
+	for _, o := range a.Ops {
+		fmt.Println("  ", o)
+	}
+	if len(a.Ops) == 0 {
+		fmt.Println("   (none)")
+	}
+	fmt.Printf("closeness cl(Q'(G), E) = %.4f  satisfied=%v\n", a.Closeness, a.Satisfied)
+	fmt.Printf("Q'(G) = %s\n", nodeList(g, a.Matches))
+	if len(a.Diff) > 0 {
+		fmt.Println("differential table:")
+		for _, d := range a.Diff {
+			fmt.Println("  ", d)
+		}
+	}
+	fmt.Println("explanation:")
+	fmt.Print(a.Explain(g))
+	fmt.Println()
+}
+
+// nodeList renders nodes with their Name attribute when present.
+func nodeList(g *graph.Graph, nodes []graph.NodeID) string {
+	out := "{"
+	for i, v := range nodes {
+		if i > 0 {
+			out += ", "
+		}
+		if name, ok := g.Attr(v, "Name"); ok {
+			out += name.String()
+		} else {
+			out += fmt.Sprintf("#%d(%s)", v, g.Label(v))
+		}
+	}
+	return out + "}"
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadJSON(f)
+}
+
+func loadQuery(path string) (*query.Query, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return query.ReadJSON(f)
+}
+
+func loadExemplar(path string) (*exemplar.Exemplar, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return exemplar.ReadJSON(f)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wqe/internal/datagen"
+)
+
+// TestRunDemo drives the CLI's full pipeline on the built-in example.
+func TestRunDemo(t *testing.T) {
+	for _, algo := range []string{"answ", "topk", "heu", "whymany", "whyempty", "fmansw"} {
+		if err := run("", "", "", algo, 2, 2, 4, 1, 1, 3, true); err != nil {
+			t.Errorf("run(-demo, -algo %s): %v", algo, err)
+		}
+	}
+	if err := run("", "", "", "bogus", 2, 2, 4, 1, 1, 3, true); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+	if err := run("", "", "", "answ", 2, 2, 4, 1, 1, 3, false); err == nil {
+		t.Error("missing file flags must error")
+	}
+}
+
+// TestRunFromFiles exercises the JSON loading path end to end.
+func TestRunFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	f := datagen.NewFig1()
+
+	gPath := filepath.Join(dir, "g.json")
+	gf, err := os.Create(gPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.G.WriteJSON(gf); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+
+	qPath := filepath.Join(dir, "q.json")
+	qf, _ := os.Create(qPath)
+	if err := f.Q.WriteJSON(qf); err != nil {
+		t.Fatal(err)
+	}
+	qf.Close()
+
+	ePath := filepath.Join(dir, "e.json")
+	ef, _ := os.Create(ePath)
+	if err := f.E.WriteJSON(ef); err != nil {
+		t.Fatal(err)
+	}
+	ef.Close()
+
+	if err := run(gPath, qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, false); err != nil {
+		t.Fatalf("run from files: %v", err)
+	}
+	if err := run(filepath.Join(dir, "missing.json"), qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, false); err == nil {
+		t.Error("missing graph file must error")
+	}
+}

@@ -1,0 +1,74 @@
+// Product search: top-k query suggestion over the WatDiv-like
+// e-commerce graph. A generated "user" issues a (disturbed) product
+// query, points at a few products they actually wanted, and receives
+// three alternative query rewrites ranked by closeness — the §6.2
+// workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wqe"
+)
+
+func main() {
+	g, err := wqe.GenerateDataset(wqe.DatasetProducts, 6000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("catalog graph:", g)
+
+	// Sample a Why-question: GenerateWhyQuestion plays the "user" — it
+	// draws a realistic product query (the intent), hides it behind a
+	// disturbed variant (what the user actually typed), and lists a few
+	// desired products as the exemplar.
+	inst, ok := wqe.GenerateWhyQuestion(g, wqe.WorkloadSpec{
+		Query:      wqe.QueryWorkload{Edges: 2, MaxPredicates: 2, PathEdgeProb: 0.2, FocusLabel: "Product"},
+		DisturbOps: 3,
+		MaxTuples:  4,
+	}, 23)
+	if !ok {
+		log.Fatal("could not sample a product search scenario")
+	}
+
+	fmt.Println("\nuser's query:   ", inst.Q)
+	fmt.Printf("it returned %d products; the user expected ones like these %d examples\n",
+		len(inst.Answer), len(inst.E.Tuples))
+	fmt.Println("exemplar:       ", inst.E)
+
+	w, err := wqe.NewWhy(g, inst.Q, inst.E, wqe.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	suggestions := w.TopK(3)
+	for i, a := range suggestions {
+		fmt.Printf("\nsuggestion #%d (closeness %.3f, cost %.2f, %d answers):\n  %s\n",
+			i+1, a.Closeness, a.Cost, len(a.Matches), a.Query)
+		for _, o := range a.Ops {
+			fmt.Println("   ·", o)
+		}
+	}
+
+	// How well did the best suggestion recover the hidden intent?
+	fmt.Printf("\nhidden intent:   %s\n", inst.Qstar)
+	fmt.Printf("intent recovery: %.1f%% of the desired answers match\n",
+		100*overlap(suggestions[0].Matches, inst.AnswerStar))
+}
+
+func overlap(got, want []wqe.NodeID) float64 {
+	if len(want) == 0 {
+		return 0
+	}
+	set := map[wqe.NodeID]bool{}
+	for _, v := range got {
+		set[v] = true
+	}
+	n := 0
+	for _, v := range want {
+		if set[v] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(want))
+}

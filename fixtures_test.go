@@ -1,0 +1,68 @@
+package wqe_test
+
+import (
+	"os"
+	"testing"
+
+	"wqe"
+	"wqe/internal/exemplar"
+	"wqe/internal/graph"
+	"wqe/internal/query"
+)
+
+// TestFixturesInSync: the JSON fixtures under testdata/fig1 stay
+// equivalent to the in-code running example (they feed the cmd/wqe
+// documentation flow).
+func TestFixturesInSync(t *testing.T) {
+	f := wqe.NewFig1Example()
+
+	gf, err := os.Open("testdata/fig1/graph.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	g, err := graph.ReadJSON(gf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != f.G.NumNodes() || g.NumEdges() != f.G.NumEdges() {
+		t.Error("graph fixture out of sync")
+	}
+
+	qf, err := os.Open("testdata/fig1/query.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qf.Close()
+	q, err := query.ReadJSON(qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Key() != f.Q.Key() {
+		t.Error("query fixture out of sync")
+	}
+
+	ef, err := os.Open("testdata/fig1/exemplar.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	e, err := exemplar.ReadJSON(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != f.E.String() {
+		t.Errorf("exemplar fixture out of sync:\n%s\nvs\n%s", e, f.E)
+	}
+
+	// The fixture trio answers the Why-question like the in-code one.
+	cfg := wqe.DefaultConfig()
+	cfg.Budget = 4
+	w, err := wqe.NewWhy(g, q, e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := w.AnsW(); a.Closeness != 0.5 {
+		t.Errorf("fixture chase closeness = %v", a.Closeness)
+	}
+}

@@ -1,0 +1,3 @@
+module wqe
+
+go 1.22

@@ -1,0 +1,78 @@
+package chase_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wqe/internal/chase"
+	"wqe/internal/datagen"
+	"wqe/internal/distindex"
+	"wqe/internal/match"
+	"wqe/internal/query"
+)
+
+// BenchmarkAnsWFig1 measures the full exact chase on the running
+// example (the paper's Example 3.3 search).
+func BenchmarkAnsWFig1(b *testing.B) {
+	f := datagen.NewFig1()
+	cfg := chase.DefaultConfig()
+	cfg.Budget = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := chase.NewWhy(f.G, f.Q, f.E, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a := w.AnsW(); a.Closeness != 0.5 {
+			b.Fatalf("wrong answer: %v", a.Closeness)
+		}
+	}
+}
+
+// BenchmarkGenRelax measures picky relaxation generation (the NextOp
+// hot path) on a synthetic instance.
+func BenchmarkGenRelax(b *testing.B) {
+	g, _ := datagen.Generate(datagen.DatasetKnowledge, 4000, 5)
+	m := match.NewMatcher(g, distindex.NewBFS(g), nil)
+	rng := rand.New(rand.NewSource(5))
+	inst, ok := datagen.GenWhy(g, m, datagen.WhySpec{
+		Query:      datagen.QuerySpec{Edges: 2, MaxPredicates: 2, Shape: query.TopoTree},
+		DisturbOps: 3,
+	}, rng)
+	if !ok {
+		b.Skip("no instance")
+	}
+	w, err := chase.NewWhy(g, inst.Q, inst.E, chase.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := w.Matcher.Match(inst.Q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.GenRelax(inst.Q, res, map[string]bool{}, 3)
+	}
+}
+
+// BenchmarkGenRefine measures picky refinement generation.
+func BenchmarkGenRefine(b *testing.B) {
+	g, _ := datagen.Generate(datagen.DatasetKnowledge, 4000, 5)
+	m := match.NewMatcher(g, distindex.NewBFS(g), nil)
+	rng := rand.New(rand.NewSource(9))
+	inst, ok := datagen.GenWhy(g, m, datagen.WhySpec{
+		Query:      datagen.QuerySpec{Edges: 2, MaxPredicates: 2, Shape: query.TopoTree},
+		DisturbOps: 2,
+		RelaxOnly:  true,
+	}, rng)
+	if !ok {
+		b.Skip("no instance")
+	}
+	w, err := chase.NewWhy(g, inst.Q, inst.E, chase.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := w.Matcher.Match(inst.Q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.GenRefine(inst.Q, res, map[string]bool{}, 3)
+	}
+}

@@ -1,0 +1,329 @@
+// Package chase implements the paper's primary contribution: Q-Chase
+// (Section 4), a Chase process over pattern queries guided by exemplar
+// constraints, and the Q-Chase-based algorithms of Sections 5–6:
+//
+//   - AnsW — anytime exact best-first search with backtracking, picky
+//     operator generation, star-view caching, and cl⁺ pruning (Fig 5);
+//   - AnsHeu / AnsHeuB — tunable beam-search heuristics (§5.5);
+//   - ApxWhyM — fixed-parameter approximation for Why-Many (§6.1);
+//   - AnsWE — PTIME removal-only algorithm for Why-Empty (§6.1);
+//   - FMAnsW — the frequent-pattern-mining comparison baseline (§7);
+//   - top-k query suggestion (§6.2) and differential-table lineage.
+package chase
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"wqe/internal/distindex"
+	"wqe/internal/exemplar"
+	"wqe/internal/graph"
+	"wqe/internal/match"
+	"wqe/internal/ops"
+	"wqe/internal/query"
+)
+
+// Relevance classifies a focus candidate w.r.t. an exemplar and a query
+// answer (the RM/IM/RC/IC table of §2.2).
+type Relevance uint8
+
+// Relevance classes.
+const (
+	RM Relevance = iota // relevant match:   v ∈ Q(G) ∧ v ∈ rep(E,V)
+	IM                  // irrelevant match: v ∈ Q(G) ∧ v ∉ rep(E,V)
+	RC                  // relevant cand.:   v ∉ Q(G) ∧ v ∈ rep(E,V)
+	IC                  // irrelevant cand.: v ∉ Q(G) ∧ v ∉ rep(E,V)
+)
+
+// String renders the relevance class.
+func (r Relevance) String() string {
+	return [...]string{"RM", "IM", "RC", "IC"}[r]
+}
+
+// Config tunes the Q-Chase algorithms.
+type Config struct {
+	// Budget is the operator cost bound B. Default 3 (the paper's
+	// default experimental budget).
+	Budget float64
+	// MaxBound is b_m, the cap on relaxed edge bounds. Default 3.
+	MaxBound int
+	// Theta and Lambda configure the exemplar evaluator (vsim threshold
+	// and irrelevant-match penalty). Defaults 1 and 1.
+	Theta, Lambda float64
+	// Cache enables the star-view cache (§5.2). CacheCap bounds it.
+	Cache    bool
+	CacheCap int
+	// Prune enables the cl⁺ pruning strategies of Lemma 5.5.
+	Prune bool
+	// MaxOpsPerClass caps how many picky operators one state generates
+	// per operator class. 0 means the default (64).
+	MaxOpsPerClass int
+	// MaxAnalysis caps how many RC/RM/IM nodes the picky generators run
+	// per-node neighborhood analysis on (highest closeness first);
+	// pickiness scores are then relative to the sample. 0 means the
+	// default (120).
+	MaxAnalysis int
+	// MaxSteps caps the number of simulated Q-Chase steps (query
+	// evaluations); the anytime algorithms return the best rewrite found
+	// so far when exhausted. 0 means the default (100000).
+	MaxSteps int
+	// TimeLimit, when positive, stops the search after the wall-clock
+	// limit and returns the best rewrite so far (anytime behavior).
+	TimeLimit time.Duration
+	// OnImprove, when non-nil, is invoked every time the best rewrite
+	// improves — the paper's "return Q* upon request" anytime hook.
+	OnImprove func(best Answer)
+	// Seed drives the randomized baseline AnsHeuB.
+	Seed int64
+	// DistBackend forces the distance oracle: "bfs", "pll", or ""
+	// (auto). Used by the ablation benchmarks.
+	DistBackend string
+}
+
+// DefaultConfig mirrors the paper's experimental defaults.
+func DefaultConfig() Config {
+	return Config{
+		Budget:   3,
+		MaxBound: 3,
+		Theta:    1,
+		Lambda:   1,
+		Cache:    true,
+		CacheCap: 4096,
+		Prune:    true,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Budget <= 0 {
+		c.Budget = d.Budget
+	}
+	if c.MaxBound <= 0 {
+		c.MaxBound = d.MaxBound
+	}
+	if c.Theta <= 0 {
+		c.Theta = d.Theta
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = d.Lambda
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = d.CacheCap
+	}
+	if c.MaxOpsPerClass <= 0 {
+		c.MaxOpsPerClass = 64
+	}
+	if c.MaxAnalysis <= 0 {
+		c.MaxAnalysis = 120
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 100000
+	}
+	return c
+}
+
+// Why is a compiled Why-question W(Q(u_o), E) over a graph: the shared
+// state every Q-Chase algorithm consults — the exemplar evaluator, the
+// matcher (with optional star cache), the fixed focus-candidate pool
+// V_{u_o}, the relevant/irrelevant sets R(u_o)/I(u_o), and the
+// theoretically optimal closeness cl*.
+type Why struct {
+	G    *graph.Graph
+	Q    *query.Query
+	E    *exemplar.Exemplar
+	Cfg  Config
+	Eval *exemplar.Eval
+
+	Matcher *match.Matcher
+	Dist    distindex.Index
+
+	// FocusCands is V_{u_o}: the label-based candidate pool of the
+	// original focus, fixed across the chase (it normalizes closeness).
+	FocusCands []graph.NodeID
+	// focusSet mirrors FocusCands for O(1) membership.
+	focusSet map[graph.NodeID]bool
+	// ClStar is the theoretically optimal closeness cl*.
+	ClStar float64
+
+	params ops.Params
+	rng    *rand.Rand
+
+	// partnerCache memoizes refinement partner sets across chase states:
+	// the partners of a focus match at a pattern node depend only on the
+	// node's matching signature and the exploration radius, not on the
+	// rest of the rewrite.
+	partnerCache map[partnerCacheKey][]graph.NodeID
+
+	// Stats accumulates search effort across one algorithm run.
+	Stats Stats
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Steps      int           // simulated Q-Chase steps (query evaluations)
+	States     int           // states pushed into the frontier
+	Pruned     int           // states cut by the cl⁺ bound
+	Elapsed    time.Duration // wall-clock of the last algorithm run
+	CacheHits  int64
+	CacheMiss  int64
+	Trajectory []Sample // best-closeness-over-time curve (anytime)
+}
+
+// Sample is one point of the anytime trajectory.
+type Sample struct {
+	At        time.Duration
+	Closeness float64
+}
+
+// NewWhy compiles a Why-question. It validates the query and exemplar,
+// builds the exemplar evaluator (rep(E, V), closeness), the distance
+// oracle, and the matcher.
+func NewWhy(g *graph.Graph, q *query.Query, e *exemplar.Exemplar, cfg Config) (*Why, error) {
+	cfg = cfg.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	ev, err := exemplar.NewEval(g, e, exemplar.Options{Theta: cfg.Theta, Lambda: cfg.Lambda})
+	if err != nil {
+		return nil, err
+	}
+	if !ev.Nontrivial() {
+		return nil, errors.New("chase: trivial exemplar: rep(E, V) is empty")
+	}
+	var dist distindex.Index
+	switch cfg.DistBackend {
+	case "bfs":
+		dist = distindex.NewBFS(g)
+	case "pll":
+		dist = distindex.NewPLL(g)
+	case "":
+		dist = distindex.Auto(g)
+	default:
+		return nil, fmt.Errorf("chase: unknown distance backend %q", cfg.DistBackend)
+	}
+	w := &Why{
+		G:            g,
+		Q:            q.Clone(),
+		E:            e,
+		Cfg:          cfg,
+		Eval:         ev,
+		Dist:         dist,
+		params:       ops.Params{MaxBound: cfg.MaxBound},
+		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
+		partnerCache: map[partnerCacheKey][]graph.NodeID{},
+	}
+	// Warm the graph's lazy caches so concurrent Why-questions over the
+	// same graph stay race-free.
+	g.WarmCaches()
+	var cache *match.Cache
+	if cfg.Cache {
+		cache = match.NewCache(cfg.CacheCap, 0.95)
+	}
+	w.Matcher = match.NewMatcher(g, w.Dist, cache)
+	w.FocusCands = g.NodesByLabel(q.Nodes[q.Focus].Label)
+	w.focusSet = make(map[graph.NodeID]bool, len(w.FocusCands))
+	for _, v := range w.FocusCands {
+		w.focusSet[v] = true
+	}
+	w.ClStar = ev.ClStar(w.FocusCands)
+	return w, nil
+}
+
+// Classify returns the relevance class of focus candidate v given an
+// answer set.
+func (w *Why) Classify(v graph.NodeID, answer *match.Result) Relevance {
+	inAns := answer.Has(v)
+	inRep := w.Eval.InRep(v)
+	switch {
+	case inAns && inRep:
+		return RM
+	case inAns:
+		return IM
+	case inRep:
+		return RC
+	}
+	return IC
+}
+
+// Partition splits the focus candidates into the four relevance sets.
+func (w *Why) Partition(answer *match.Result) (rm, im, rc, ic []graph.NodeID) {
+	for _, v := range w.FocusCands {
+		switch w.Classify(v, answer) {
+		case RM:
+			rm = append(rm, v)
+		case IM:
+			im = append(im, v)
+		case RC:
+			rc = append(rc, v)
+		case IC:
+			ic = append(ic, v)
+		}
+	}
+	return
+}
+
+// Closeness computes cl(answer, E) with the fixed |V_{u_o}| normalizer.
+func (w *Why) Closeness(answer []graph.NodeID) float64 {
+	return w.Eval.Closeness(answer, len(w.FocusCands))
+}
+
+// ClPlus computes the pruning upper bound cl⁺(answer, E).
+func (w *Why) ClPlus(answer []graph.NodeID) float64 {
+	return w.Eval.ClPlus(answer, len(w.FocusCands))
+}
+
+// Satisfied reports Q'(G) ⊨ E for an answer set.
+func (w *Why) Satisfied(answer []graph.NodeID) bool {
+	return w.Eval.SatisfiedBy(answer)
+}
+
+// Answer is one query-rewrite answer to a Why-question.
+type Answer struct {
+	// Query is the rewrite Q' = Q ⊕ Ops.
+	Query *query.Query
+	// Ops is the operator sequence, in normal form.
+	Ops ops.Sequence
+	// Cost is c(Ops).
+	Cost float64
+	// Closeness is cl(Q'(G), E).
+	Closeness float64
+	// Matches is Q'(G).
+	Matches []graph.NodeID
+	// Satisfied reports Q'(G) ⊨ E.
+	Satisfied bool
+	// Diff is the differential-table lineage for the applied operators.
+	Diff []DiffEntry
+}
+
+// String renders the answer headline.
+func (a Answer) String() string {
+	return fmt.Sprintf("rewrite cost=%.2f cl=%.4f |ans|=%d sat=%v ops=%v",
+		a.Cost, a.Closeness, len(a.Matches), a.Satisfied, a.Ops)
+}
+
+// evaluate runs Match on q and assembles an Answer (without lineage).
+func (w *Why) evaluate(q *query.Query, seq ops.Sequence) (Answer, *match.Result) {
+	res := w.Matcher.Match(q)
+	w.Stats.Steps++
+	norm, err := seq.NormalForm()
+	if err != nil {
+		norm = seq
+	}
+	return Answer{
+		Query:     q,
+		Ops:       norm,
+		Cost:      seq.Cost(w.G),
+		Closeness: w.Closeness(res.Answer),
+		Matches:   res.Answer,
+		Satisfied: w.Satisfied(res.Answer),
+	}, res
+}
+
+// sortNodes sorts a node slice in place and returns it.
+func sortNodes(v []graph.NodeID) []graph.NodeID {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v
+}

@@ -1,0 +1,73 @@
+package chase
+
+import (
+	"fmt"
+	"strings"
+
+	"wqe/internal/graph"
+	"wqe/internal/ops"
+)
+
+// DiffNode is one answer change caused by a Q-Chase step: a focus node
+// that entered or left the answer, with its relevance to the exemplar.
+type DiffNode struct {
+	V     graph.NodeID
+	Rel   Relevance
+	Added bool
+}
+
+// DiffEntry is one row of the differential table T_D (§5.4 "Generating
+// Explanations"): the picky operator applied, the picky edge that
+// induced it (an index into the pre-rewrite query's edge list, or -1
+// for node-local operators), and the answer delta it caused.
+type DiffEntry struct {
+	Op        ops.Op
+	PickyEdge int
+	Delta     []DiffNode
+}
+
+// String renders the entry the way Fig 6's differential table does.
+func (d DiffEntry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s ⇒", d.Op)
+	for _, n := range d.Delta {
+		sign := "+"
+		if !n.Added {
+			sign = "−"
+		}
+		fmt.Fprintf(&b, " %s%d(%s)", sign, n.V, n.Rel)
+	}
+	return b.String()
+}
+
+// diffEntry computes the answer delta of one step.
+func (w *Why) diffEntry(op ops.Op, pickyEdge int, before, after []graph.NodeID) DiffEntry {
+	prev := make(map[graph.NodeID]bool, len(before))
+	for _, v := range before {
+		prev[v] = true
+	}
+	next := make(map[graph.NodeID]bool, len(after))
+	for _, v := range after {
+		next[v] = true
+	}
+	e := DiffEntry{Op: op, PickyEdge: pickyEdge}
+	for _, v := range after {
+		if !prev[v] {
+			rel := IM
+			if w.Eval.InRep(v) {
+				rel = RM
+			}
+			e.Delta = append(e.Delta, DiffNode{V: v, Rel: rel, Added: true})
+		}
+	}
+	for _, v := range before {
+		if !next[v] {
+			rel := IC
+			if w.Eval.InRep(v) {
+				rel = RC
+			}
+			e.Delta = append(e.Delta, DiffNode{V: v, Rel: rel, Added: false})
+		}
+	}
+	return e
+}

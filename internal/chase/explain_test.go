@@ -1,0 +1,56 @@
+package chase_test
+
+import (
+	"strings"
+	"testing"
+
+	"wqe/internal/chase"
+	"wqe/internal/datagen"
+)
+
+func TestExplain(t *testing.T) {
+	f := datagen.NewFig1()
+	cfg := chase.DefaultConfig()
+	cfg.Budget = 4
+	w, err := chase.NewWhy(f.G, f.Q, f.E, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := w.AnsW()
+	report := a.Explain(f.G)
+
+	for _, want := range []string{
+		"Rewrote the query",
+		"Final answers: 3 entities",
+		"closeness 0.5000",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("explanation misses %q:\n%s", want, report)
+		}
+	}
+	// Entity names must appear (the rewrite brings in the v2 phones).
+	if !strings.Contains(report, "S9+v2") && !strings.Contains(report, "Note8v2") {
+		t.Errorf("explanation names no entities:\n%s", report)
+	}
+	// Every applied operator is described.
+	for _, o := range a.Ops {
+		if !strings.Contains(report, o.String()) {
+			t.Errorf("explanation misses operator %s:\n%s", o, report)
+		}
+	}
+}
+
+func TestExplainUnchanged(t *testing.T) {
+	f := datagen.NewFig1()
+	cfg := chase.DefaultConfig()
+	cfg.Budget = 0.5 // too small for any operator
+	w, err := chase.NewWhy(f.G, f.Q, f.E, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := w.AnsW()
+	report := a.Explain(f.G)
+	if !strings.Contains(report, "kept unchanged") {
+		t.Errorf("zero-op explanation wrong:\n%s", report)
+	}
+}

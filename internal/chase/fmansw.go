@@ -1,0 +1,149 @@
+package chase
+
+import (
+	"sort"
+	"time"
+
+	"wqe/internal/graph"
+	"wqe/internal/query"
+)
+
+// FMAnsW is the comparison baseline of §7: a frequent-pattern-mining
+// query suggester in the spirit of Mottin et al. (KDD 2015). It mines
+// frequent features — attribute values on focus candidates and labeled
+// neighbors within two hops — around the desired entities, assembles
+// candidate star queries from frequent feature combinations, evaluates
+// each, and returns the one with the best closeness. It suggests whole
+// queries rather than rewrites (Ops is empty) and serves as the slow,
+// example-agnostic baseline.
+func (w *Why) FMAnsW() Answer {
+	start := time.Now()
+	w.Stats = Stats{}
+	defer func() {
+		w.Stats.Elapsed = time.Since(start)
+		if c := w.Matcher.Cache; c != nil {
+			w.Stats.CacheHits, w.Stats.CacheMiss = c.Stats()
+		}
+	}()
+
+	rootAns, _ := w.evaluate(w.Q, nil)
+	focusLabel := w.Q.Nodes[w.Q.Focus].Label
+
+	// Mine features "around V_{u_o}" (§7): the whole focus candidate
+	// pool, weighting desired entities (rep members) double so frequent
+	// features lean toward the exemplar. Mining over every candidate's
+	// two-hop neighborhood is what makes this baseline expensive.
+	pool := w.FocusCands
+	const maxMined = 4000
+	if len(pool) > maxMined {
+		pool = pool[:maxMined]
+	}
+
+	type feature struct {
+		// literal feature when attr != ""; neighbor-label feature
+		// otherwise.
+		attr  string
+		val   graph.Value
+		label string
+		dist  int
+		out   bool
+		count int
+	}
+	counts := map[string]*feature{}
+	weight := 1
+	bump := func(key string, f feature) {
+		if ex := counts[key]; ex != nil {
+			ex.count += weight
+			return
+		}
+		f.count = weight
+		counts[key] = &f
+	}
+	for _, v := range pool {
+		weight = 1
+		if w.Eval.InRep(v) {
+			weight = 3 // lean the mined features toward desired entities
+		}
+		for _, av := range w.G.Tuple(v) {
+			attr := w.G.Attrs.Name(av.Attr)
+			bump("a:"+attr+"="+av.Val.String()+kindOf(av.Val),
+				feature{attr: attr, val: av.Val})
+		}
+		for _, nd := range w.G.Ball(v, 2, graph.Forward) {
+			if nd.D == 0 {
+				continue
+			}
+			l := w.G.Label(nd.V)
+			bump("o:"+l+string(rune('0'+nd.D)), feature{label: l, dist: int(nd.D), out: true})
+		}
+		for _, nd := range w.G.Ball(v, 2, graph.Backward) {
+			if nd.D == 0 {
+				continue
+			}
+			l := w.G.Label(nd.V)
+			bump("i:"+l+string(rune('0'+nd.D)), feature{label: l, dist: int(nd.D), out: false})
+		}
+	}
+
+	feats := make([]*feature, 0, len(counts))
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		feats = append(feats, counts[k])
+	}
+	sort.SliceStable(feats, func(i, j int) bool { return feats[i].count > feats[j].count })
+	const maxFeatures = 10
+	if len(feats) > maxFeatures {
+		feats = feats[:maxFeatures]
+	}
+
+	// Assemble candidate queries: all feature subsets up to size 3.
+	build := func(subset []*feature) *query.Query {
+		q := query.New()
+		f := q.AddNode(focusLabel)
+		q.Focus = f
+		for _, ft := range subset {
+			if ft.attr != "" {
+				q.Nodes[f].Literals = append(q.Nodes[f].Literals,
+					query.Literal{Attr: ft.attr, Op: graph.EQ, Val: ft.val})
+			} else {
+				n := q.AddNode(ft.label)
+				if ft.out {
+					q.AddEdge(f, n, ft.dist)
+				} else {
+					q.AddEdge(n, f, ft.dist)
+				}
+			}
+		}
+		return q
+	}
+
+	best := rootAns
+	consider := func(subset []*feature) {
+		q := build(subset)
+		ans, _ := w.evaluate(q, nil)
+		ans.Ops = nil
+		if ans.Closeness > best.Closeness {
+			best = ans
+		}
+	}
+	const maxQueries = 200
+	evaluatedQ := 0
+	n := len(feats)
+	for i := 0; i < n && evaluatedQ < maxQueries; i++ {
+		consider([]*feature{feats[i]})
+		evaluatedQ++
+		for j := i + 1; j < n && evaluatedQ < maxQueries; j++ {
+			consider([]*feature{feats[i], feats[j]})
+			evaluatedQ++
+			for k := j + 1; k < n && evaluatedQ < maxQueries; k++ {
+				consider([]*feature{feats[i], feats[j], feats[k]})
+				evaluatedQ++
+			}
+		}
+	}
+	return best
+}

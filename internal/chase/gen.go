@@ -1,0 +1,467 @@
+package chase
+
+import (
+	"fmt"
+	"sort"
+
+	"wqe/internal/graph"
+	"wqe/internal/match"
+	"wqe/internal/ops"
+	"wqe/internal/query"
+)
+
+// scoredOp is one generated picky operator with its pickiness score and
+// the relevance-delta estimate backing the score (kept for differential
+// tables).
+type scoredOp struct {
+	Op   ops.Op
+	Pick float64
+	// Cost caches c(o); pickiness ties break toward cheaper operators
+	// (same estimated gain, more budget preserved).
+	Cost float64
+	// Gain is RC̄(o) for relaxations (relevant candidates the operator
+	// may convert to matches) or the certainly-removed IM set for
+	// refinements.
+	Gain []graph.NodeID
+	// PickyEdge is the pattern edge that induced the operator, or -1.
+	PickyEdge int
+}
+
+// opTargets returns the cancel-out target keys of a sequence, used to
+// keep generated chase sequences canonical: a target touched once is
+// never touched again.
+func opTargets(seq ops.Sequence) map[string]bool {
+	t := map[string]bool{}
+	for _, o := range seq {
+		switch o.Kind {
+		case ops.RmL, ops.AddL, ops.RxL, ops.RfL:
+			t[fmt.Sprintf("L:%d:%s", o.U, o.Lit.Attr)] = true
+		case ops.RmE, ops.RxE, ops.RfE:
+			t[fmt.Sprintf("E:%d:%d", o.U, o.U2)] = true
+		case ops.AddE:
+			if o.NewNode == nil {
+				t[fmt.Sprintf("E:%d:%d", o.U, o.U2)] = true
+			}
+		}
+	}
+	return t
+}
+
+func litTarget(u query.NodeID, attr string) string { return fmt.Sprintf("L:%d:%s", u, attr) }
+func edgeTarget(a, b query.NodeID) string          { return fmt.Sprintf("E:%d:%d", a, b) }
+
+// rcBlame is the per-RC-node failure analysis that drives picky
+// relaxation: which local conditions of Q keep the node out of Q(G).
+type rcBlame struct {
+	v graph.NodeID
+	// failedLits are the focus literals v itself violates.
+	failedLits []query.Literal
+	// edgeFail records, per focus-incident pattern edge index, how far
+	// the nearest candidate partner is (graph.Unreachable when none
+	// within b_m).
+	edgeFail map[int]int
+	// litBlock records partner-side literal blocking: pattern edges
+	// whose bound is satisfiable by a correctly-labeled neighbor that
+	// fails literals of the other endpoint. Keyed by edge index; values
+	// are the blocking literals with the nearest unblocking value.
+	litBlock map[int][]blockedLit
+	// deep is set when no local failure explains the miss (the node
+	// fails a non-focus-local constraint or injectivity).
+	deep bool
+}
+
+type blockedLit struct {
+	u   query.NodeID
+	lit query.Literal
+	val graph.Value // a nearby value that would satisfy a relaxed literal
+}
+
+// analyzeRC inspects why RC node v fails q locally.
+func (w *Why) analyzeRC(q *query.Query, v graph.NodeID) rcBlame {
+	b := rcBlame{v: v, edgeFail: map[int]int{}, litBlock: map[int][]blockedLit{}}
+	focus := q.Focus
+
+	for _, l := range q.Nodes[focus].Literals {
+		if !l.Sat(w.G, v) {
+			b.failedLits = append(b.failedLits, l)
+		}
+	}
+
+	var fwd, bwd []graph.NodeDist
+	ballFor := func(dir graph.Direction) []graph.NodeDist {
+		if dir == graph.Forward {
+			if fwd == nil {
+				fwd = w.G.Ball(v, w.Cfg.MaxBound, graph.Forward)
+			}
+			return fwd
+		}
+		if bwd == nil {
+			bwd = w.G.Ball(v, w.Cfg.MaxBound, graph.Backward)
+		}
+		return bwd
+	}
+
+	for ei, e := range q.Edges {
+		var other query.NodeID
+		var dir graph.Direction
+		switch focus {
+		case e.From:
+			other, dir = e.To, graph.Forward
+		case e.To:
+			other, dir = e.From, graph.Backward
+		default:
+			continue
+		}
+		nearestCand := graph.Unreachable
+		var blocked []blockedLit
+		otherLabel := q.Nodes[other].Label
+		for _, nd := range ballFor(dir) {
+			if nd.D == 0 {
+				continue
+			}
+			nb, d := nd.V, int(nd.D)
+			if q.IsCandidate(w.G, other, nb) {
+				if d < nearestCand {
+					nearestCand = d
+				}
+				continue
+			}
+			// A correctly-labeled neighbor within the current bound that
+			// fails literals of the other endpoint blames those literals.
+			if d <= e.Bound && (otherLabel == "" || w.G.Label(nb) == otherLabel) {
+				for _, l := range q.Nodes[other].Literals {
+					if !l.Sat(w.G, nb) {
+						bl := blockedLit{u: other, lit: l}
+						if val, ok := w.G.Attr(nb, l.Attr); ok {
+							bl.val = val
+						}
+						blocked = append(blocked, bl)
+					}
+				}
+			}
+		}
+		if nearestCand > e.Bound {
+			b.edgeFail[ei] = nearestCand
+			if len(blocked) > 0 {
+				b.litBlock[ei] = blocked
+			}
+		}
+	}
+
+	if len(b.failedLits) == 0 && len(b.edgeFail) == 0 {
+		b.deep = true
+	}
+	return b
+}
+
+// GenRelax implements GenRx (§5.3 + Appendix B): it analyzes every RC
+// node's local failures, derives picky edges and picky operators (RmL,
+// RxL, RmE, RxE on both focus-incident and deeper edges), scores each
+// operator by pickiness p(o) = Σ_{v ∈ RC̄(o)} cl(v, E) / |V_{u_o}|
+// (Lemma 5.2), and returns them best-first.
+func (w *Why) GenRelax(q *query.Query, res *match.Result, used map[string]bool, budgetLeft float64) []scoredOp {
+	_, _, rc, _ := w.Partition(res)
+	if len(rc) == 0 {
+		return nil
+	}
+	// Blame analysis runs bounded BFS per RC node; cap the analyzed set
+	// (highest-closeness first) so generation stays within the bounded
+	// delay of §5.4. Pickiness then scores against the sample.
+	rc = sampleByCl(w, rc, w.Cfg.MaxAnalysis)
+
+	// acc accumulates RC̄ per candidate operator, keyed by the
+	// operator's identity.
+	acc := map[opIdent]*accum{}
+	add := func(o ops.Op, pickyEdge int, v graph.NodeID) {
+		if !o.Applicable(q, w.params) || o.Cost(w.G) > budgetLeft {
+			return
+		}
+		key := identOf(o)
+		a := acc[key]
+		if a == nil {
+			a = &accum{op: scoredOp{Op: o, PickyEdge: pickyEdge}, gain: map[graph.NodeID]bool{}}
+			acc[key] = a
+		}
+		if !a.gain[v] {
+			a.gain[v] = true
+			a.total += w.Eval.Cl(v)
+		}
+	}
+
+	focus := q.Focus
+	// Per-literal failing-value pools for the RxL discretization rule.
+	type litKey struct {
+		u    query.NodeID
+		attr string
+	}
+	failVals := map[litKey]map[float64][]graph.NodeID{}
+	noteVal := func(u query.NodeID, attr string, val graph.Value, v graph.NodeID) {
+		if val.Kind != graph.Number {
+			return
+		}
+		k := litKey{u, attr}
+		if failVals[k] == nil {
+			failVals[k] = map[float64][]graph.NodeID{}
+		}
+		failVals[k][val.Num] = append(failVals[k][val.Num], v)
+	}
+
+	var deepRC []graph.NodeID
+	for _, v := range rc {
+		blame := w.analyzeRC(q, v)
+
+		for _, l := range blame.failedLits {
+			if !used[litTarget(focus, l.Attr)] {
+				add(ops.Op{Kind: ops.RmL, U: focus, Lit: l}, -1, v)
+				if val, ok := w.G.Attr(v, l.Attr); ok {
+					noteVal(focus, l.Attr, val, v)
+				}
+			}
+		}
+		for ei, nearest := range blame.edgeFail {
+			e := q.Edges[ei]
+			if !used[edgeTarget(e.From, e.To)] {
+				add(ops.Op{Kind: ops.RmE, U: e.From, U2: e.To, Bound: e.Bound}, ei, v)
+				// Step-wise bound relaxation (Appendix B); the RC node
+				// only counts when one step suffices.
+				if e.Bound < w.Cfg.MaxBound && nearest <= e.Bound+1 {
+					add(ops.Op{Kind: ops.RxE, U: e.From, U2: e.To, Bound: e.Bound, NewBound: e.Bound + 1}, ei, v)
+				}
+				// Direct relaxation to the needed bound when farther.
+				if nearest != graph.Unreachable && nearest > e.Bound+1 && nearest <= w.Cfg.MaxBound {
+					add(ops.Op{Kind: ops.RxE, U: e.From, U2: e.To, Bound: e.Bound, NewBound: nearest}, ei, v)
+				}
+			}
+			for _, bl := range blame.litBlock[ei] {
+				if used[litTarget(bl.u, bl.lit.Attr)] {
+					continue
+				}
+				add(ops.Op{Kind: ops.RmL, U: bl.u, Lit: bl.lit}, ei, v)
+				noteVal(bl.u, bl.lit.Attr, bl.val, v)
+			}
+		}
+		if blame.deep {
+			deepRC = append(deepRC, v)
+		}
+	}
+
+	// Deep failures blame every non-focus-incident edge (the paper's
+	// rule (2): paths {(u,u'),(u',u_o)} — an overestimate).
+	for _, v := range deepRC {
+		for ei, e := range q.Edges {
+			if e.From == focus || e.To == focus {
+				continue
+			}
+			if used[edgeTarget(e.From, e.To)] {
+				continue
+			}
+			add(ops.Op{Kind: ops.RmE, U: e.From, U2: e.To, Bound: e.Bound}, ei, v)
+			if e.Bound < w.Cfg.MaxBound {
+				add(ops.Op{Kind: ops.RxE, U: e.From, U2: e.To, Bound: e.Bound, NewBound: e.Bound + 1}, ei, v)
+			}
+		}
+	}
+
+	// RxL discretization: for each blamed numeric literal, sort the
+	// failing values and generate one RxL per distinct value — relaxing
+	// up to that value admits every RC node at or before it.
+	for k, vals := range failVals {
+		li := -1
+		for _, op := range []graph.Op{graph.GE, graph.GT, graph.LE, graph.LT, graph.EQ} {
+			if i := q.FindLiteral(k.u, k.attr, op); i >= 0 {
+				li = i
+				break
+			}
+		}
+		if li < 0 {
+			continue
+		}
+		l := q.Nodes[k.u].Literals[li]
+		if l.Val.Kind != graph.Number {
+			continue
+		}
+		nums := make([]float64, 0, len(vals))
+		for n := range vals {
+			nums = append(nums, n)
+		}
+		sort.Float64s(nums)
+		const maxRxLValues = 8
+		switch l.Op {
+		case graph.GE, graph.GT, graph.EQ:
+			// Failing values lie below c; relax the lower bound downward,
+			// nearest first.
+			count := 0
+			for i := len(nums) - 1; i >= 0 && count < maxRxLValues; i-- {
+				a := nums[i]
+				if a >= l.Val.Num {
+					continue
+				}
+				o := ops.Op{Kind: ops.RxL, U: k.u, Lit: l,
+					NewLit: query.Literal{Attr: k.attr, Op: graph.GE, Val: graph.N(a)}}
+				for _, n := range nums[i:] {
+					if n >= a && n < l.Val.Num {
+						for _, v := range vals[n] {
+							add(o, -1, v)
+						}
+					}
+				}
+				count++
+			}
+		}
+		switch l.Op {
+		case graph.LE, graph.LT, graph.EQ:
+			count := 0
+			for i := 0; i < len(nums) && count < maxRxLValues; i++ {
+				a := nums[i]
+				if a <= l.Val.Num {
+					continue
+				}
+				o := ops.Op{Kind: ops.RxL, U: k.u, Lit: l,
+					NewLit: query.Literal{Attr: k.attr, Op: graph.LE, Val: graph.N(a)}}
+				for _, n := range nums[:i+1] {
+					if n <= a && n > l.Val.Num {
+						for _, v := range vals[n] {
+							add(o, -1, v)
+						}
+					}
+				}
+				count++
+			}
+		}
+	}
+
+	return w.finishScored(acc)
+}
+
+// opIdent is a comparable operator identity used as a map key (cheaper
+// than rendering operator strings in hot loops). AddE-with-fresh-node
+// operators are identified by their label.
+type opIdent struct {
+	kind            ops.Kind
+	u, u2           query.NodeID
+	lit, newLit     query.Literal
+	bound, newBound int
+	newLabel        string
+	hasNew          bool
+}
+
+func identOf(o ops.Op) opIdent {
+	id := opIdent{
+		kind: o.Kind, u: o.U, u2: o.U2,
+		lit: o.Lit, newLit: o.NewLit,
+		bound: o.Bound, newBound: o.NewBound,
+	}
+	if o.NewNode != nil {
+		id.hasNew = true
+		id.newLabel = o.NewNode.Label
+	}
+	return id
+}
+
+// sortIdents orders operator identities deterministically.
+func sortIdents(ids []opIdent) {
+	sort.Slice(ids, func(i, j int) bool { return identLess(ids[i], ids[j]) })
+}
+
+func identLess(a, b opIdent) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.u != b.u {
+		return a.u < b.u
+	}
+	if a.u2 != b.u2 {
+		return a.u2 < b.u2
+	}
+	if a.lit != b.lit {
+		return litLess(a.lit, b.lit)
+	}
+	if a.newLit != b.newLit {
+		return litLess(a.newLit, b.newLit)
+	}
+	if a.bound != b.bound {
+		return a.bound < b.bound
+	}
+	if a.newBound != b.newBound {
+		return a.newBound < b.newBound
+	}
+	return a.newLabel < b.newLabel
+}
+
+func litLess(a, b query.Literal) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	return a.Val.Compare(b.Val) < 0
+}
+
+// finishScored converts accumulated operators into a pickiness-sorted,
+// per-class-capped slice.
+func (w *Why) finishScored(acc map[opIdent]*accum) []scoredOp {
+	out := make([]scoredOp, 0, len(acc))
+	keys := make([]opIdent, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sortIdents(keys) // determinism
+	for _, k := range keys {
+		a := acc[k]
+		a.op.Pick = a.total / float64(len(w.FocusCands))
+		a.op.Cost = a.op.Op.Cost(w.G)
+		a.op.Gain = make([]graph.NodeID, 0, len(a.gain))
+		for v := range a.gain {
+			a.op.Gain = append(a.op.Gain, v)
+		}
+		sortNodes(a.op.Gain)
+		out = append(out, a.op)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pick != out[j].Pick {
+			return out[i].Pick > out[j].Pick
+		}
+		return out[i].Cost < out[j].Cost
+	})
+	out = capPerClass(out, w.Cfg.MaxOpsPerClass)
+	return out
+}
+
+// accum is shared by GenRelax and GenRefine via finishScored.
+type accum struct {
+	op    scoredOp
+	gain  map[graph.NodeID]bool
+	total float64
+}
+
+// sampleByCl keeps at most n nodes, preferring higher closeness (ties
+// break by id for determinism).
+func sampleByCl(w *Why, nodes []graph.NodeID, n int) []graph.NodeID {
+	if n <= 0 || len(nodes) <= n {
+		return nodes
+	}
+	out := append([]graph.NodeID(nil), nodes...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ci, cj := w.Eval.Cl(out[i]), w.Eval.Cl(out[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out[:n]
+}
+
+// capPerClass keeps at most n operators of each class, preserving order.
+func capPerClass(in []scoredOp, n int) []scoredOp {
+	count := map[ops.Kind]int{}
+	out := in[:0]
+	for _, s := range in {
+		if count[s.Op.Kind] >= n {
+			continue
+		}
+		count[s.Op.Kind]++
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package chase
+
+import (
+	"sort"
+	"time"
+
+	"wqe/internal/ops"
+)
+
+// AnsHeu is the faster tunable heuristic of §5.5: a breadth-first beam
+// search with beam size k. Each state expands through its top-k picky
+// operators; after every level only the k best rewrites survive. It
+// preserves anytime behavior but has no optimality guarantee.
+func (w *Why) AnsHeu(beam int) Answer {
+	return w.beamSearch(beam, false)
+}
+
+// AnsHeuB is the paper's ablation of AnsHeu that replaces picky
+// operator generation with random operator selection (Exp-3): same
+// beam mechanics, uninformed operators.
+func (w *Why) AnsHeuB(beam int) Answer {
+	return w.beamSearch(beam, true)
+}
+
+func (w *Why) beamSearch(beam int, random bool) Answer {
+	if beam < 1 {
+		beam = 1
+	}
+	start := time.Now()
+	w.Stats = Stats{}
+	defer func() {
+		w.Stats.Elapsed = time.Since(start)
+		if c := w.Matcher.Cache; c != nil {
+			w.Stats.CacheHits, w.Stats.CacheMiss = c.Stats()
+		}
+	}()
+
+	rootAns, rootRes := w.evaluate(w.Q, nil)
+	root := &state{
+		q:      w.Q,
+		res:    rootRes,
+		cl:     rootAns.Closeness,
+		clPlus: w.ClPlus(rootRes.Answer),
+	}
+	best := newTopList(1, rootAns)
+	if rootAns.Satisfied {
+		best.offer(rootAns)
+	}
+	visited := map[string]bool{w.Q.Key(): true}
+	frontier := []*state{root}
+	deadline := time.Time{}
+	if w.Cfg.TimeLimit > 0 {
+		deadline = start.Add(w.Cfg.TimeLimit)
+	}
+
+	for len(frontier) > 0 {
+		var children []*state
+		for _, s := range frontier {
+			if w.Stats.Steps >= w.Cfg.MaxSteps {
+				break
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
+			used := opTargets(s.seq)
+			budgetLeft := w.Cfg.Budget - s.cost
+
+			var pool []scoredOp
+			if random {
+				pool = w.GenRandom(s.q, used, budgetLeft)
+			} else {
+				// Relaxations come first so that, on pickiness ties, the
+				// beam follows the normal form (relax before refine);
+				// refinements with strictly higher pickiness still win.
+				if !s.refineOnly {
+					pool = append(pool, capPerClass(w.GenRelax(s.q, s.res, used, budgetLeft), beam)...)
+				}
+				if hasIM(w, s.res) {
+					pool = append(pool, capPerClass(w.GenRefine(s.q, s.res, used, budgetLeft), beam)...)
+				}
+				sortScored(pool)
+			}
+
+			expanded := 0
+			for _, op := range pool {
+				if expanded >= beam {
+					break
+				}
+				if s.cost+op.Op.Cost(w.G) > w.Cfg.Budget+1e-9 {
+					continue
+				}
+				q2 := op.Op.Apply(s.q)
+				key := q2.Key()
+				if visited[key] {
+					continue
+				}
+				visited[key] = true
+				expanded++
+
+				seq2 := append(append(ops.Sequence{}, s.seq...), op.Op)
+				ans2, res2 := w.evaluate(q2, seq2)
+				s2 := &state{
+					q:          q2,
+					seq:        seq2,
+					cost:       ans2.Cost,
+					res:        res2,
+					cl:         ans2.Closeness,
+					clPlus:     w.ClPlus(res2.Answer),
+					sat:        ans2.Satisfied,
+					refineOnly: s.refineOnly || op.Op.Kind.IsRefine(),
+				}
+				s2.diff = append(append([]DiffEntry{}, s.diff...),
+					w.diffEntry(op.Op, op.PickyEdge, s.res.Answer, res2.Answer))
+				ans2.Diff = s2.diff
+				if best.offer(ans2) {
+					w.Stats.Trajectory = append(w.Stats.Trajectory,
+						Sample{At: time.Since(start), Closeness: best.bestCl()})
+					if w.Cfg.OnImprove != nil {
+						w.Cfg.OnImprove(best.list[0])
+					}
+				}
+				children = append(children, s2)
+				w.Stats.States++
+			}
+		}
+		if best.full() && best.kthCl() >= w.ClStar-1e-12 {
+			break
+		}
+		// Beam eviction: keep the k best rewrites. Satisfying rewrites
+		// rank by closeness; non-satisfying ones rank by their potential
+		// cl⁺ — a rewrite whose answers already include relevant matches
+		// beats an empty answer with nominal closeness 0, since only
+		// satisfying rewrites answer the Why-question at all.
+		score := func(s *state) float64 {
+			if s.sat {
+				return 1 + s.cl
+			}
+			return s.clPlus + s.cl/1e3
+		}
+		sort.SliceStable(children, func(i, j int) bool {
+			return score(children[i]) > score(children[j])
+		})
+		if len(children) > beam {
+			children = children[:beam]
+		}
+		frontier = children
+	}
+	return best.results()[0]
+}

@@ -1,0 +1,94 @@
+package chase_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"wqe/internal/chase"
+	"wqe/internal/datagen"
+)
+
+// TestMaxStepsRespected: the search stops at the step cap and still
+// returns an answer.
+func TestMaxStepsRespected(t *testing.T) {
+	g, instances := genInstances(t, "watdiv-like", 2000, 1, 91)
+	cfg := chase.DefaultConfig()
+	cfg.MaxSteps = 10
+	cfg.Prune = false // keep it from terminating early for other reasons
+	w, err := chase.NewWhy(g, instances[0].Q, instances[0].E, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := w.AnsW()
+	if w.Stats.Steps > 10 {
+		t.Errorf("took %d steps, cap was 10", w.Stats.Steps)
+	}
+	if a.Query == nil {
+		t.Error("no answer under step cap")
+	}
+}
+
+// TestTimeLimitRespected: the anytime cutoff stops the search promptly.
+func TestTimeLimitRespected(t *testing.T) {
+	g, instances := genInstances(t, "dbpedia-like", 3000, 1, 93)
+	cfg := chase.DefaultConfig()
+	cfg.TimeLimit = 30 * time.Millisecond
+	cfg.Prune = false
+	w, err := chase.NewWhy(g, instances[0].Q, instances[0].E, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	a := w.AnsW()
+	elapsed := time.Since(start)
+	// Generous envelope: one in-flight step may overshoot the limit.
+	if elapsed > time.Second {
+		t.Errorf("time limit ignored: ran %v", elapsed)
+	}
+	if a.Query == nil {
+		t.Error("no answer under time limit")
+	}
+}
+
+// TestConcurrentWhyQuestions: independent Why-questions over one graph
+// run concurrently (exercised under -race in CI runs).
+func TestConcurrentWhyQuestions(t *testing.T) {
+	g, instances := genInstances(t, "watdiv-like", 2000, 3, 95)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(instances))
+	for _, inst := range instances {
+		inst := inst
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := chase.DefaultConfig()
+			cfg.MaxSteps = 200
+			w, err := chase.NewWhy(g, inst.Q, inst.E, cfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			w.AnsW()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestBadDistBackend: config validation.
+func TestBadDistBackend(t *testing.T) {
+	f := datagen.NewFig1()
+	cfg := chase.DefaultConfig()
+	cfg.DistBackend = "quantum"
+	if _, err := chase.NewWhy(f.G, f.Q, f.E, cfg); err == nil {
+		t.Error("unknown distance backend must be rejected")
+	}
+	cfg.DistBackend = "pll"
+	if _, err := chase.NewWhy(f.G, f.Q, f.E, cfg); err != nil {
+		t.Errorf("pll backend rejected: %v", err)
+	}
+}

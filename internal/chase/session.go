@@ -1,0 +1,113 @@
+package chase
+
+import (
+	"wqe/internal/distindex"
+	"wqe/internal/exemplar"
+	"wqe/internal/graph"
+	"wqe/internal/match"
+	"wqe/internal/query"
+)
+
+// Session supports the exploratory-search workflow of Fig 3: a user
+// iterates query → response → exemplar → rewrite over one graph, and
+// each iteration is a new Why-question. The session owns the expensive
+// per-graph state — the distance oracle and the star-view cache — so
+// consecutive Why-questions reuse materialized star tables, which is
+// exactly where the §5.2 cache pays off ("minimizing system response
+// time between search sessions").
+type Session struct {
+	G     *graph.Graph
+	Cfg   Config
+	dist  distindex.Index
+	cache *match.Cache
+}
+
+// NewSession builds a session over g. The config's Budget/Theta/Lambda
+// apply to every Ask unless overridden per call.
+func NewSession(g *graph.Graph, cfg Config) *Session {
+	cfg = cfg.withDefaults()
+	s := &Session{G: g, Cfg: cfg, dist: distindex.Auto(g)}
+	if cfg.Cache {
+		s.cache = match.NewCache(cfg.CacheCap, 0.95)
+	}
+	return s
+}
+
+// Why compiles one Why-question against the session's shared state.
+func (s *Session) Why(q *query.Query, e *exemplar.Exemplar) (*Why, error) {
+	w, err := NewWhy(s.G, q, e, s.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Share the session's oracle and cache instead of the fresh ones
+	// NewWhy built.
+	w.Dist = s.dist
+	w.Matcher = match.NewMatcher(s.G, s.dist, s.cache)
+	return w, nil
+}
+
+// Ask runs one search session: evaluate the query, and when an exemplar
+// is given, rewrite toward it with AnsW. The returned Answer's Diff
+// carries the lineage to present to the user.
+func (s *Session) Ask(q *query.Query, e *exemplar.Exemplar) (Answer, error) {
+	w, err := s.Why(q, e)
+	if err != nil {
+		return Answer{}, err
+	}
+	return w.AnsW(), nil
+}
+
+// AskFast is Ask with the beam heuristic, for interactive response
+// times.
+func (s *Session) AskFast(q *query.Query, e *exemplar.Exemplar, beam int) (Answer, error) {
+	w, err := s.Why(q, e)
+	if err != nil {
+		return Answer{}, err
+	}
+	return w.AnsHeu(beam), nil
+}
+
+// CacheStats reports the session cache's cumulative hits and misses.
+func (s *Session) CacheStats() (hits, misses int64) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.Stats()
+}
+
+// MultiFocusAnswer pairs one focus node with its rewrite.
+type MultiFocusAnswer struct {
+	Focus  query.NodeID
+	Answer Answer
+}
+
+// AnsWMultiFocus answers a Why-question whose query designates several
+// focus nodes (Appendix B "Queries with multiple focus nodes"): each
+// focus u_i is chased independently against its exemplar E_i — the
+// union exemplar keeps rep(E, V) unchanged per the appendix — and the
+// per-focus rewrites are returned together. foci and exemplars are
+// parallel slices.
+func AnsWMultiFocus(g *graph.Graph, q *query.Query, foci []query.NodeID,
+	exemplars []*exemplar.Exemplar, cfg Config) ([]MultiFocusAnswer, error) {
+
+	if len(foci) != len(exemplars) {
+		return nil, errFociMismatch
+	}
+	out := make([]MultiFocusAnswer, 0, len(foci))
+	for i, u := range foci {
+		qi := q.Clone()
+		qi.Focus = u
+		w, err := NewWhy(g, qi, exemplars[i], cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MultiFocusAnswer{Focus: u, Answer: w.AnsW()})
+	}
+	return out, nil
+}
+
+type chaseError string
+
+func (e chaseError) Error() string { return string(e) }
+
+const errFociMismatch = chaseError("chase: foci and exemplars must be parallel slices")

@@ -1,0 +1,95 @@
+package chase_test
+
+import (
+	"testing"
+
+	"wqe/internal/chase"
+	"wqe/internal/datagen"
+	"wqe/internal/exemplar"
+	"wqe/internal/graph"
+	"wqe/internal/query"
+)
+
+// TestSessionReusesCache: consecutive Why-questions in one session hit
+// the shared star-view cache.
+func TestSessionReusesCache(t *testing.T) {
+	f := datagen.NewFig1()
+	cfg := chase.DefaultConfig()
+	cfg.Budget = 4
+	s := chase.NewSession(f.G, cfg)
+
+	a1, err := s.Ask(f.Q, f.E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Closeness != 0.5 {
+		t.Fatalf("session AnsW closeness = %v", a1.Closeness)
+	}
+	h0, m0 := s.CacheStats()
+
+	// The follow-up session re-asks from the rewrite; the cache must
+	// serve some of its stars.
+	e2 := exemplar.FromEntities(f.G,
+		[]graph.NodeID{f.Phones["P3"], f.Phones["P5"]}, []string{"Display"})
+	a2, err := s.AskFast(a1.Query, e2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Query == nil {
+		t.Fatal("second session returned nothing")
+	}
+	h1, m1 := s.CacheStats()
+	if h1 <= h0 {
+		t.Errorf("second session gained no cache hits: %d/%d → %d/%d", h0, m0, h1, m1)
+	}
+}
+
+func TestSessionRejectsTrivialExemplar(t *testing.T) {
+	f := datagen.NewFig1()
+	s := chase.NewSession(f.G, chase.DefaultConfig())
+	bad := &exemplar.Exemplar{Tuples: []exemplar.TuplePattern{{
+		"Display": exemplar.C(graph.N(1234)),
+	}}}
+	if _, err := s.Ask(f.Q, bad); err == nil {
+		t.Error("trivial exemplar must be rejected by sessions too")
+	}
+}
+
+// TestAnsWMultiFocus: the appendix extension answers one Why-question
+// per focus node.
+func TestAnsWMultiFocus(t *testing.T) {
+	f := datagen.NewFig1()
+	cfg := chase.DefaultConfig()
+	cfg.Budget = 4
+
+	carrierExemplar := &exemplar.Exemplar{Tuples: []exemplar.TuplePattern{{
+		"Discount": exemplar.C(graph.N(25)),
+	}}}
+
+	answers, err := chase.AnsWMultiFocus(f.G, f.Q,
+		[]query.NodeID{0, 1}, // cellphone and carrier
+		[]*exemplar.Exemplar{f.E, carrierExemplar}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("got %d answers", len(answers))
+	}
+	if answers[0].Focus != 0 || answers[1].Focus != 1 {
+		t.Error("focus bookkeeping wrong")
+	}
+	if answers[0].Answer.Closeness != 0.5 {
+		t.Errorf("cellphone-focus closeness = %v, want 0.5", answers[0].Answer.Closeness)
+	}
+	// The carrier-focused question wants 25%-discount carriers.
+	for _, v := range answers[1].Answer.Matches {
+		if d, ok := f.G.Attr(v, "Discount"); !ok || !d.Equal(graph.N(25)) {
+			t.Errorf("carrier-focus answer %d has discount %v", v, d)
+		}
+	}
+
+	if _, err := chase.AnsWMultiFocus(f.G, f.Q, []query.NodeID{0},
+		[]*exemplar.Exemplar{f.E, carrierExemplar}, cfg); err == nil {
+		t.Error("mismatched foci/exemplars must error")
+	}
+}

@@ -1,0 +1,209 @@
+package chase
+
+import (
+	"time"
+
+	"wqe/internal/graph"
+	"wqe/internal/match"
+	"wqe/internal/ops"
+)
+
+// ApxWhyM answers Why-Many questions (§6.1, Fig 9): refine Q with
+// refinement-only operators of total cost ≤ B so that as many
+// irrelevant matches as possible disappear, maximizing closeness. It is
+// a greedy budgeted weighted set-cover over seed operators (SeedRf) and
+// carries the fixed-parameter ½(1−1/e) approximation of Theorem 6.1.
+func (w *Why) ApxWhyM() Answer {
+	start := time.Now()
+	w.Stats = Stats{}
+	defer func() {
+		w.Stats.Elapsed = time.Since(start)
+		if c := w.Matcher.Cache; c != nil {
+			w.Stats.CacheHits, w.Stats.CacheMiss = c.Stats()
+		}
+	}()
+
+	rootAns, rootRes := w.evaluate(w.Q, nil)
+	if !hasIM(w, rootRes) {
+		return rootAns // nothing to remove
+	}
+
+	seeds := w.seedRf(rootRes)
+	if len(seeds) == 0 {
+		return rootAns
+	}
+
+	// Exact per-seed coverage: evaluate Q ⊕ {o} once per seed and record
+	// which irrelevant (and relevant) matches it removes. This "ensures
+	// the removal of IM(o)" as the paper requires of SeedRf.
+	type seed struct {
+		op        ops.Op
+		cost      float64
+		removedIM map[graph.NodeID]bool
+		removedRM map[graph.NodeID]bool
+		single    Answer
+	}
+	var evaluated []seed
+	for _, s := range seeds {
+		q2 := s.Op.Apply(w.Q)
+		ans2, res2 := w.evaluate(q2, ops.Sequence{s.Op})
+		sd := seed{op: s.Op, cost: s.Op.Cost(w.G), single: ans2,
+			removedIM: map[graph.NodeID]bool{}, removedRM: map[graph.NodeID]bool{}}
+		for _, v := range rootRes.Answer {
+			if res2.Has(v) {
+				continue
+			}
+			if w.Eval.InRep(v) {
+				sd.removedRM[v] = true
+			} else {
+				sd.removedIM[v] = true
+			}
+		}
+		if len(sd.removedIM) == 0 {
+			continue // covers nothing
+		}
+		evaluated = append(evaluated, sd)
+	}
+	if len(evaluated) == 0 {
+		return rootAns
+	}
+
+	nf := float64(len(w.FocusCands))
+	weight := func(im, rm map[graph.NodeID]bool) float64 {
+		var loss float64
+		for v := range rm {
+			loss += w.Eval.Cl(v)
+		}
+		return (w.Cfg.Lambda*float64(len(im)) - loss) / nf
+	}
+
+	// O2: the single best seed within budget (line 3 of Fig 9).
+	best2 := -1
+	for i, s := range evaluated {
+		if s.cost > w.Cfg.Budget {
+			continue
+		}
+		if best2 < 0 || weight(s.removedIM, s.removedRM) > weight(evaluated[best2].removedIM, evaluated[best2].removedRM) {
+			best2 = i
+		}
+	}
+
+	// O1: greedy marginal-gain-per-cost selection (lines 4-8).
+	var o1 []int
+	usedTargets := map[string]bool{}
+	coveredIM := map[graph.NodeID]bool{}
+	coveredRM := map[graph.NodeID]bool{}
+	cost1 := 0.0
+	remaining := make([]bool, len(evaluated))
+	for i := range remaining {
+		remaining[i] = true
+	}
+	for {
+		bestIdx, bestRatio := -1, 0.0
+		base := weight(coveredIM, coveredRM)
+		for i, s := range evaluated {
+			if !remaining[i] || cost1+s.cost > w.Cfg.Budget {
+				continue
+			}
+			if conflicts(usedTargets, s.op) {
+				continue
+			}
+			im2 := unionSet(coveredIM, s.removedIM)
+			rm2 := unionSet(coveredRM, s.removedRM)
+			ratio := (weight(im2, rm2) - base) / s.cost
+			if bestIdx < 0 || ratio > bestRatio {
+				bestIdx, bestRatio = i, ratio
+			}
+		}
+		if bestIdx < 0 || bestRatio <= 0 {
+			break
+		}
+		s := evaluated[bestIdx]
+		remaining[bestIdx] = false
+		o1 = append(o1, bestIdx)
+		cost1 += s.cost
+		markTargets(usedTargets, s.op)
+		for v := range s.removedIM {
+			coveredIM[v] = true
+		}
+		for v := range s.removedRM {
+			coveredRM[v] = true
+		}
+		if cost1 >= w.Cfg.Budget {
+			break
+		}
+	}
+
+	// Construct both candidate rewrites and keep the better (line 9).
+	result := rootAns
+	if len(o1) > 0 {
+		seq := make(ops.Sequence, 0, len(o1))
+		for _, i := range o1 {
+			seq = append(seq, evaluated[i].op)
+		}
+		if q1, err := seq.Apply(w.Q, w.params); err == nil {
+			ans1, _ := w.evaluate(q1, seq)
+			if ans1.Closeness > result.Closeness {
+				result = ans1
+			}
+		}
+	}
+	if best2 >= 0 && evaluated[best2].single.Closeness > result.Closeness {
+		result = evaluated[best2].single
+	}
+	return result
+}
+
+// seedRf produces the Why-Many seed operator set: the picky refinement
+// pool plus neighborhood-derived AddE/AddL/RfL operators (Appendix C).
+// GenRefine already explores the B-hop neighborhoods of relevant
+// matches for AddE and value-based AddL/RfL, so it serves as SeedRf
+// with a wider cap.
+func (w *Why) seedRf(res *match.Result) []scoredOp {
+	pool := w.GenRefine(w.Q, res, map[string]bool{}, w.Cfg.Budget)
+	const maxSeeds = 48
+	if len(pool) > maxSeeds {
+		pool = pool[:maxSeeds]
+	}
+	return pool
+}
+
+func conflicts(used map[string]bool, o ops.Op) bool {
+	for _, t := range targetsOf(o) {
+		if used[t] {
+			return true
+		}
+	}
+	return false
+}
+
+func markTargets(used map[string]bool, o ops.Op) {
+	for _, t := range targetsOf(o) {
+		used[t] = true
+	}
+}
+
+func targetsOf(o ops.Op) []string {
+	switch o.Kind {
+	case ops.RmL, ops.AddL, ops.RxL, ops.RfL:
+		return []string{litTarget(o.U, o.Lit.Attr)}
+	case ops.RmE, ops.RxE, ops.RfE:
+		return []string{edgeTarget(o.U, o.U2)}
+	case ops.AddE:
+		if o.NewNode == nil {
+			return []string{edgeTarget(o.U, o.U2)}
+		}
+	}
+	return nil
+}
+
+func unionSet(a, b map[graph.NodeID]bool) map[graph.NodeID]bool {
+	out := make(map[graph.NodeID]bool, len(a)+len(b))
+	for v := range a {
+		out[v] = true
+	}
+	for v := range b {
+		out[v] = true
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package distindex
+
+import (
+	"sort"
+
+	"wqe/internal/graph"
+)
+
+// labelEntry is one 2-hop-cover label: landmark rank and distance.
+type labelEntry struct {
+	rank int32
+	d    int32
+}
+
+// PLL is a Pruned Landmark Labeling index (Akiba, Iwata, Yoshida,
+// SIGMOD 2013) for directed graphs. Every node v stores two label sets:
+// in-labels {(u, dist(u→v))} and out-labels {(u, dist(v→u))} over a set
+// of landmarks processed in descending-degree order with pruned BFS.
+// dist(s→t) is then the minimum of dOut + dIn over landmarks common to
+// out(s) and in(t).
+type PLL struct {
+	g    *graph.Graph
+	rank []int32        // node → landmark rank (0 = highest degree)
+	inv  []graph.NodeID // rank → node
+	in   [][]labelEntry // sorted by rank
+	out  [][]labelEntry
+}
+
+// NewPLL builds the index. Construction runs one pruned forward and one
+// pruned backward BFS per node, in degree order.
+func NewPLL(g *graph.Graph) *PLL {
+	n := g.NumNodes()
+	p := &PLL{
+		g:    g,
+		rank: make([]int32, n),
+		inv:  make([]graph.NodeID, n),
+		in:   make([][]labelEntry, n),
+		out:  make([][]labelEntry, n),
+	}
+	for i := range p.inv {
+		p.inv[i] = graph.NodeID(i)
+	}
+	sort.Slice(p.inv, func(a, b int) bool {
+		da, db := g.Degree(p.inv[a]), g.Degree(p.inv[b])
+		if da != db {
+			return da > db
+		}
+		return p.inv[a] < p.inv[b]
+	})
+	for r, v := range p.inv {
+		p.rank[v] = int32(r)
+	}
+
+	// Scratch buffers reused across BFS runs.
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	// rootOut[r] is the distance from the current landmark to landmark r
+	// via out-labels (for forward pruning); rootIn the reverse.
+	rootLabel := make([]int32, n)
+	for i := range rootLabel {
+		rootLabel[i] = -1
+	}
+
+	for r := 0; r < n; r++ {
+		root := p.inv[r]
+		p.prunedBFS(root, int32(r), true, dist, rootLabel)
+		p.prunedBFS(root, int32(r), false, dist, rootLabel)
+	}
+	return p
+}
+
+// prunedBFS labels nodes reachable from root. forward=true walks
+// out-edges and appends to in-labels of reached nodes (they are reached
+// FROM root); forward=false walks in-edges and appends to out-labels.
+func (p *PLL) prunedBFS(root graph.NodeID, rrank int32, forward bool, dist, rootLabel []int32) {
+	// Index the root's existing labels for O(1) prune queries.
+	// For forward BFS we need dist(root→u) ≤ d via existing labels:
+	// min over common landmarks of root.out and u.in.
+	rootSide := p.out[root]
+	if !forward {
+		rootSide = p.in[root]
+	}
+	for _, le := range rootSide {
+		rootLabel[le.rank] = le.d
+	}
+	rootLabel[rrank] = 0
+
+	dist[root] = 0
+	frontier := []graph.NodeID{root}
+	var touched []graph.NodeID
+	touched = append(touched, root)
+
+	for len(frontier) > 0 {
+		var next []graph.NodeID
+		for _, v := range frontier {
+			dv := dist[v]
+			// Prune: if the existing labels already certify
+			// dist(root,v) ≤ dv, neither label nor expand v.
+			if v != root && p.coveredBy(v, dv, rootLabel, forward) {
+				continue
+			}
+			if forward {
+				p.in[v] = append(p.in[v], labelEntry{rank: rrank, d: dv})
+			} else {
+				p.out[v] = append(p.out[v], labelEntry{rank: rrank, d: dv})
+			}
+			edges := p.g.Out(v)
+			if !forward {
+				edges = p.g.In(v)
+			}
+			for _, e := range edges {
+				if dist[e.To] >= 0 {
+					continue
+				}
+				// Nodes ranked above the current landmark were already
+				// processed as landmarks; paths through them are covered.
+				if p.rank[e.To] < rrank {
+					continue
+				}
+				dist[e.To] = dv + 1
+				next = append(next, e.To)
+				touched = append(touched, e.To)
+			}
+		}
+		frontier = next
+	}
+
+	// Reset scratch.
+	for _, v := range touched {
+		dist[v] = -1
+	}
+	for _, le := range rootSide {
+		rootLabel[le.rank] = -1
+	}
+	rootLabel[rrank] = -1
+}
+
+// coveredBy reports whether existing labels certify dist(root, v) ≤ d
+// (forward) or dist(v, root) ≤ d (backward), where rootLabel holds the
+// root-side label distances indexed by landmark rank.
+func (p *PLL) coveredBy(v graph.NodeID, d int32, rootLabel []int32, forward bool) bool {
+	side := p.in[v]
+	if !forward {
+		side = p.out[v]
+	}
+	for _, le := range side {
+		if rd := rootLabel[le.rank]; rd >= 0 && rd+le.d <= d {
+			return true
+		}
+	}
+	return false
+}
+
+// Dist answers an exact directed distance query by merge-intersecting
+// the sorted out-labels of s with the in-labels of t.
+func (p *PLL) Dist(s, t graph.NodeID) int {
+	if s == t {
+		return 0
+	}
+	ls, lt := p.out[s], p.in[t]
+	best := int32(-1)
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) {
+		switch {
+		case ls[i].rank < lt[j].rank:
+			i++
+		case ls[i].rank > lt[j].rank:
+			j++
+		default:
+			if sum := ls[i].d + lt[j].d; best < 0 || sum < best {
+				best = sum
+			}
+			i++
+			j++
+		}
+	}
+	// s or t may themselves be landmarks: rank(s) appears in lt, rank(t)
+	// in ls, via the (self, 0) label added during construction, so the
+	// merge above already covers those cases.
+	if best < 0 {
+		return graph.Unreachable
+	}
+	return int(best)
+}
+
+// Within reports dist(s, t) ≤ bound.
+func (p *PLL) Within(s, t graph.NodeID, bound int) bool {
+	d := p.Dist(s, t)
+	return d != graph.Unreachable && d <= bound
+}
+
+// LabelSize returns the total number of label entries, a measure of
+// index memory.
+func (p *PLL) LabelSize() int {
+	total := 0
+	for i := range p.in {
+		total += len(p.in[i]) + len(p.out[i])
+	}
+	return total
+}

@@ -1,0 +1,128 @@
+package distindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"wqe/internal/graph"
+)
+
+func randomGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode("N", nil)
+	}
+	for i := 0; i < m; i++ {
+		a, b := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if a != b {
+			g.AddEdge(a, b, "")
+		}
+	}
+	return g
+}
+
+// TestPLLMatchesBFS cross-checks the pruned-landmark index against the
+// BFS oracle on every node pair of random directed graphs — sparse,
+// dense, and disconnected regimes.
+func TestPLLMatchesBFS(t *testing.T) {
+	shapes := []struct{ n, m int }{
+		{12, 15},  // sparse, likely disconnected
+		{20, 60},  // medium
+		{15, 120}, // dense
+		{10, 0},   // no edges at all
+	}
+	for _, sh := range shapes {
+		for seed := int64(1); seed <= 6; seed++ {
+			g := randomGraph(sh.n, sh.m, seed)
+			pll := NewPLL(g)
+			bfs := NewBFS(g)
+			for a := 0; a < sh.n; a++ {
+				for b := 0; b < sh.n; b++ {
+					want := bfs.Dist(graph.NodeID(a), graph.NodeID(b))
+					got := pll.Dist(graph.NodeID(a), graph.NodeID(b))
+					if got != want {
+						t.Fatalf("n=%d m=%d seed=%d: PLL dist(%d,%d)=%d, BFS=%d",
+							sh.n, sh.m, seed, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPLLChain checks exact distances and direction on a chain.
+func TestPLLChain(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 8; i++ {
+		g.AddNode("N", nil)
+	}
+	for i := 0; i+1 < 8; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), "")
+	}
+	pll := NewPLL(g)
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			want := b - a
+			if b < a {
+				want = graph.Unreachable
+			}
+			if got := pll.Dist(graph.NodeID(a), graph.NodeID(b)); got != want {
+				t.Fatalf("dist(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	if pll.LabelSize() == 0 {
+		t.Error("index should carry labels")
+	}
+}
+
+func TestWithin(t *testing.T) {
+	g := randomGraph(15, 30, 3)
+	pll := NewPLL(g)
+	bfs := NewBFS(g)
+	for a := 0; a < 15; a++ {
+		for b := 0; b < 15; b++ {
+			for bound := 0; bound <= 3; bound++ {
+				pw := pll.Within(graph.NodeID(a), graph.NodeID(b), bound)
+				bw := bfs.Within(graph.NodeID(a), graph.NodeID(b), bound)
+				if pw != bw {
+					t.Fatalf("Within(%d,%d,%d): PLL=%v BFS=%v", a, b, bound, pw, bw)
+				}
+			}
+		}
+	}
+}
+
+func TestAutoSelection(t *testing.T) {
+	small := randomGraph(10, 12, 1)
+	if _, ok := Auto(small).(*BFS); !ok {
+		t.Error("Auto should pick BFS for small graphs")
+	}
+}
+
+func BenchmarkPLLBuild(b *testing.B) {
+	g := randomGraph(2000, 6000, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewPLL(g)
+	}
+}
+
+func BenchmarkPLLQuery(b *testing.B) {
+	g := randomGraph(2000, 6000, 42)
+	pll := NewPLL(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pll.Dist(graph.NodeID(i%2000), graph.NodeID((i*7)%2000))
+	}
+}
+
+func BenchmarkBFSQuery(b *testing.B) {
+	g := randomGraph(2000, 6000, 42)
+	bfs := NewBFS(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bfs.Dist(graph.NodeID(i%2000), graph.NodeID((i*7)%2000))
+	}
+}

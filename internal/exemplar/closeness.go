@@ -1,0 +1,110 @@
+package exemplar
+
+import (
+	"wqe/internal/graph"
+)
+
+// Options tunes the vsim predicate and the closeness measure.
+type Options struct {
+	// Theta is the vsim threshold: v ~ t iff cl(v, t) ≥ Theta.
+	// The default 1 requires exact constant matches (the paper's own
+	// example predicate).
+	Theta float64
+	// Lambda is the irrelevant-match penalty factor λ of cl(Q(G), E).
+	Lambda float64
+}
+
+// DefaultOptions mirrors the paper's running examples: exact matching
+// and λ = 1.
+func DefaultOptions() Options { return Options{Theta: 1, Lambda: 1} }
+
+// cellSim computes cl(v.A, t.A) ∈ [0,1] for a constant cell: numeric
+// values score 1 − |a−c| / range(A); strings score by normalized edit
+// similarity (1 when equal).
+func cellSim(have, want graph.Value, dom *graph.Domain) float64 {
+	if have.Kind != want.Kind {
+		return 0
+	}
+	if have.Kind == graph.Number {
+		diff := have.Num - want.Num
+		if diff < 0 {
+			diff = -diff
+		}
+		s := 1 - diff/dom.Range()
+		if s < 0 {
+			return 0
+		}
+		return s
+	}
+	if have.Str == want.Str {
+		return 1
+	}
+	return stringSim(have.Str, want.Str)
+}
+
+// stringSim is a normalized Levenshtein similarity: 1 − dist/maxLen.
+func stringSim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	maxLen := len(ra)
+	if len(rb) > maxLen {
+		maxLen = len(rb)
+	}
+	return 1 - float64(prev[len(rb)])/float64(maxLen)
+}
+
+// TupleCloseness computes cl(v, t) = Σ_A cl(v.A, t.A) / |A(t)| over the
+// attributes A(t) explicitly present in the tuple pattern. Variable and
+// wildcard cells contribute 1 when the node carries the attribute
+// (variables must be evaluable); a missing attribute contributes 0 for
+// Const and Var cells and 1 for explicit wildcards.
+func TupleCloseness(g *graph.Graph, v graph.NodeID, t TuplePattern) float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	var total float64
+	for attr, cell := range t {
+		val, ok := g.Attr(v, attr)
+		switch cell.Kind {
+		case Wildcard:
+			total++
+		case Var:
+			if ok {
+				total++
+			}
+		case Const:
+			if ok {
+				total += cellSim(val, cell.Val, g.ActiveDomain(attr))
+			}
+		}
+	}
+	return total / float64(len(t))
+}

@@ -1,0 +1,151 @@
+package exemplar
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wqe/internal/graph"
+)
+
+// jsonExemplar is the on-disk shape used by the CLI tools:
+//
+//	{
+//	  "tuples": [
+//	    {"Display": {"const": 6.2}, "Storage": {"var": "x1"}, "Price": {"wildcard": true}},
+//	    {"Display": {"const": 6.3}, "Storage": {"var": "x2"}, "Price": {"var": "x3"}}
+//	  ],
+//	  "constraints": [
+//	    {"left": "x3", "op": "<", "const": 800},
+//	    {"left": "x1", "op": ">", "right": "x2"}
+//	  ]
+//	}
+type jsonExemplar struct {
+	Tuples      []map[string]jsonCell `json:"tuples"`
+	Constraints []jsonConstraint      `json:"constraints,omitempty"`
+}
+
+type jsonCell struct {
+	Const    json.RawMessage `json:"const,omitempty"`
+	Var      string          `json:"var,omitempty"`
+	Wildcard bool            `json:"wildcard,omitempty"`
+}
+
+type jsonConstraint struct {
+	Left  string          `json:"left"`
+	Op    string          `json:"op"`
+	Right string          `json:"right,omitempty"`
+	Const json.RawMessage `json:"const,omitempty"`
+}
+
+// WriteJSON serializes the exemplar.
+func (e *Exemplar) WriteJSON(w io.Writer) error {
+	je := jsonExemplar{}
+	for _, t := range e.Tuples {
+		jt := map[string]jsonCell{}
+		for attr, cell := range t {
+			switch cell.Kind {
+			case Const:
+				raw, err := marshalValue(cell.Val)
+				if err != nil {
+					return err
+				}
+				jt[attr] = jsonCell{Const: raw}
+			case Var:
+				jt[attr] = jsonCell{Var: cell.Var}
+			case Wildcard:
+				jt[attr] = jsonCell{Wildcard: true}
+			}
+		}
+		je.Tuples = append(je.Tuples, jt)
+	}
+	for _, c := range e.Constraints {
+		jc := jsonConstraint{Left: c.Left, Op: c.Op.String()}
+		if c.IsVar {
+			jc.Right = c.Right
+		} else {
+			raw, err := marshalValue(c.Val)
+			if err != nil {
+				return err
+			}
+			jc.Const = raw
+		}
+		je.Constraints = append(je.Constraints, jc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(je)
+}
+
+// ReadJSON parses an exemplar in the WriteJSON shape and validates it.
+func ReadJSON(r io.Reader) (*Exemplar, error) {
+	var je jsonExemplar
+	if err := json.NewDecoder(r).Decode(&je); err != nil {
+		return nil, fmt.Errorf("exemplar: decode: %w", err)
+	}
+	e := &Exemplar{}
+	for ti, jt := range je.Tuples {
+		t := TuplePattern{}
+		for attr, jc := range jt {
+			switch {
+			case jc.Wildcard:
+				t[attr] = W()
+			case jc.Var != "":
+				t[attr] = V(jc.Var)
+			case jc.Const != nil:
+				val, err := unmarshalValue(jc.Const)
+				if err != nil {
+					return nil, fmt.Errorf("exemplar: tuple %d attr %q: %w", ti, attr, err)
+				}
+				t[attr] = C(val)
+			default:
+				return nil, fmt.Errorf("exemplar: tuple %d attr %q: cell must set const, var, or wildcard", ti, attr)
+			}
+		}
+		e.Tuples = append(e.Tuples, t)
+	}
+	for ci, jc := range je.Constraints {
+		op, err := graph.ParseOp(jc.Op)
+		if err != nil {
+			return nil, fmt.Errorf("exemplar: constraint %d: %w", ci, err)
+		}
+		c := Constraint{Left: jc.Left, Op: op}
+		switch {
+		case jc.Right != "":
+			c.IsVar = true
+			c.Right = jc.Right
+		case jc.Const != nil:
+			val, err := unmarshalValue(jc.Const)
+			if err != nil {
+				return nil, fmt.Errorf("exemplar: constraint %d: %w", ci, err)
+			}
+			c.Val = val
+		default:
+			return nil, fmt.Errorf("exemplar: constraint %d: needs right or const", ci)
+		}
+		e.Constraints = append(e.Constraints, c)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func marshalValue(v graph.Value) (json.RawMessage, error) {
+	if v.Kind == graph.Number {
+		return json.Marshal(v.Num)
+	}
+	return json.Marshal(v.Str)
+}
+
+func unmarshalValue(raw json.RawMessage) (graph.Value, error) {
+	var num float64
+	if err := json.Unmarshal(raw, &num); err == nil {
+		return graph.N(num), nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return graph.Value{}, fmt.Errorf("value is neither number nor string")
+	}
+	return graph.S(s), nil
+}

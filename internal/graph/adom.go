@@ -1,0 +1,102 @@
+package graph
+
+import "sort"
+
+// Domain describes the active domain adom(A, G) of one attribute: the
+// finite set of distinct values A takes in G, plus the numeric range the
+// paper's operator cost model normalizes literal modifications by
+// (Table 1: cost of RxL/RfL is 1 + |c'−c| / range(A)).
+type Domain struct {
+	Attr    string
+	Values  []Value // distinct, sorted by Value.Compare
+	NumMin  float64
+	NumMax  float64
+	Numbers int // how many of Values are numeric
+}
+
+// Range returns the numeric spread max−min of the domain, or 1 when the
+// domain has fewer than two numeric values, so cost normalization is
+// always well defined.
+func (d *Domain) Range() float64 {
+	if d == nil || d.Numbers < 2 || d.NumMax <= d.NumMin {
+		return 1
+	}
+	return d.NumMax - d.NumMin
+}
+
+// Contains reports whether v appears in the domain.
+func (d *Domain) Contains(v Value) bool {
+	i := sort.Search(len(d.Values), func(i int) bool {
+		return d.Values[i].Compare(v) >= 0
+	})
+	return i < len(d.Values) && d.Values[i].Equal(v)
+}
+
+// ActiveDomain returns adom(A, G) for the attribute name, computing and
+// caching it on first use. The result is shared; callers must not
+// mutate it.
+func (g *Graph) ActiveDomain(name string) *Domain {
+	aid, ok := g.Attrs.Lookup(name)
+	if !ok {
+		return &Domain{Attr: name}
+	}
+	if g.adoms == nil {
+		g.buildDomains()
+	}
+	if d, ok := g.adoms[aid]; ok {
+		return d
+	}
+	return &Domain{Attr: name}
+}
+
+// WarmCaches eagerly computes the lazily-built diameter and
+// active-domain caches. Call it once after construction when the graph
+// will be read from multiple goroutines: the lazy builders themselves
+// are not synchronized.
+func (g *Graph) WarmCaches() {
+	g.Diameter()
+	if g.adoms == nil {
+		g.buildDomains()
+	}
+}
+
+// buildDomains scans every node tuple once and materializes all active
+// domains.
+func (g *Graph) buildDomains() {
+	type seenKey struct {
+		attr int32
+		val  Value
+	}
+	seen := make(map[seenKey]struct{})
+	doms := make(map[int32]*Domain)
+	for _, tuple := range g.attrs {
+		for _, av := range tuple {
+			k := seenKey{av.Attr, av.Val}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			d := doms[av.Attr]
+			if d == nil {
+				d = &Domain{Attr: g.Attrs.Name(av.Attr)}
+				doms[av.Attr] = d
+			}
+			d.Values = append(d.Values, av.Val)
+			if av.Val.Kind == Number {
+				if d.Numbers == 0 || av.Val.Num < d.NumMin {
+					d.NumMin = av.Val.Num
+				}
+				if d.Numbers == 0 || av.Val.Num > d.NumMax {
+					d.NumMax = av.Val.Num
+				}
+				d.Numbers++
+			}
+		}
+	}
+	for _, d := range doms {
+		sort.Slice(d.Values, func(i, j int) bool {
+			return d.Values[i].Compare(d.Values[j]) < 0
+		})
+	}
+	g.adoms = doms
+}

@@ -1,0 +1,170 @@
+package graph
+
+import "sync"
+
+// Unreachable is returned by distance queries when no path exists within
+// the requested bound.
+const Unreachable = int(^uint(0) >> 1) // max int
+
+// Direction selects which adjacency a traversal follows.
+type Direction uint8
+
+const (
+	// Forward follows out-edges (paths leaving the start node).
+	Forward Direction = iota
+	// Backward follows in-edges (paths arriving at the start node).
+	Backward
+	// Both ignores direction (undirected neighborhood exploration).
+	Both
+)
+
+// NodeDist pairs a node with its BFS distance from a traversal origin.
+type NodeDist struct {
+	V NodeID
+	D int32
+}
+
+// bfsScratch is an epoch-stamped visited array reused across BFS runs;
+// clearing is O(1) per run (bump the stamp) instead of O(|V|).
+type bfsScratch struct {
+	seen  []uint32
+	stamp uint32
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return &bfsScratch{} }}
+
+func (g *Graph) scratch() *bfsScratch {
+	sc := scratchPool.Get().(*bfsScratch)
+	if len(sc.seen) < g.NumNodes() {
+		sc.seen = make([]uint32, g.NumNodes())
+		sc.stamp = 0
+	}
+	sc.stamp++
+	if sc.stamp == 0 { // wrapped: hard reset
+		for i := range sc.seen {
+			sc.seen[i] = 0
+		}
+		sc.stamp = 1
+	}
+	return sc
+}
+
+// Ball returns every node within maxHops of v along the chosen
+// direction with its BFS distance; the first entry is (v, 0) and
+// entries appear in BFS order. The returned slice is freshly allocated
+// and owned by the caller.
+func (g *Graph) Ball(v NodeID, maxHops int, dir Direction) []NodeDist {
+	sc := g.scratch()
+	defer scratchPool.Put(sc)
+	out := make([]NodeDist, 0, 16)
+	out = append(out, NodeDist{V: v, D: 0})
+	sc.seen[v] = sc.stamp
+	start := 0
+	for d := int32(1); d <= int32(maxHops); d++ {
+		end := len(out)
+		if start == end {
+			break
+		}
+		for i := start; i < end; i++ {
+			u := out[i].V
+			if dir == Forward || dir == Both {
+				for _, e := range g.out[u] {
+					if sc.seen[e.To] != sc.stamp {
+						sc.seen[e.To] = sc.stamp
+						out = append(out, NodeDist{V: e.To, D: d})
+					}
+				}
+			}
+			if dir == Backward || dir == Both {
+				for _, e := range g.in[u] {
+					if sc.seen[e.To] != sc.stamp {
+						sc.seen[e.To] = sc.stamp
+						out = append(out, NodeDist{V: e.To, D: d})
+					}
+				}
+			}
+		}
+		start = end
+	}
+	return out
+}
+
+// Dist returns the length of the shortest directed path from → to,
+// searching at most maxHops hops. It returns Unreachable when no such
+// path exists. Dist(v, v, _) is 0.
+func (g *Graph) Dist(from, to NodeID, maxHops int) int {
+	if from == to {
+		return 0
+	}
+	if maxHops <= 0 {
+		return Unreachable
+	}
+	sc := g.scratch()
+	defer scratchPool.Put(sc)
+	queue := make([]NodeID, 0, 16)
+	queue = append(queue, from)
+	sc.seen[from] = sc.stamp
+	start := 0
+	for d := 1; d <= maxHops; d++ {
+		end := len(queue)
+		if start == end {
+			return Unreachable
+		}
+		for i := start; i < end; i++ {
+			for _, e := range g.out[queue[i]] {
+				if sc.seen[e.To] == sc.stamp {
+					continue
+				}
+				if e.To == to {
+					return d
+				}
+				sc.seen[e.To] = sc.stamp
+				queue = append(queue, e.To)
+			}
+		}
+		start = end
+	}
+	return Unreachable
+}
+
+// eccentricity runs a full undirected BFS from v and returns the largest
+// finite distance reached along with a node at that distance.
+func (g *Graph) eccentricity(v NodeID) (int, NodeID) {
+	ball := g.Ball(v, g.NumNodes(), Both)
+	last := ball[len(ball)-1]
+	return int(last.D), last.V
+}
+
+// Diameter returns an estimate of D(G), the diameter of the graph viewed
+// undirected, computed by the double-sweep heuristic (exact on trees,
+// a lower bound in general; the paper uses D(G) only to normalize
+// edge-bound operator costs). The estimate is cached until the graph
+// mutates, and is at least 1 on nonempty graphs so cost normalization
+// never divides by zero.
+func (g *Graph) Diameter() int {
+	if g.diam >= 0 {
+		return g.diam
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		g.diam = 1
+		return 1
+	}
+	// Double sweep: BFS from a few arbitrary seeds, then from the
+	// farthest node each finds; the second sweep's eccentricity is the
+	// classic double-sweep lower bound (exact on trees).
+	best := 1
+	seeds := []NodeID{0, NodeID(n / 2), NodeID(n - 1)}
+	for _, s := range seeds {
+		e1, far := g.eccentricity(s)
+		if e1 > best {
+			best = e1
+		}
+		e2, _ := g.eccentricity(far)
+		if e2 > best {
+			best = e2
+		}
+	}
+	g.diam = best
+	return best
+}

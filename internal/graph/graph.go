@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// graphUID issues process-unique graph identities (used to key caches
+// that must never serve tables built over a different graph).
+var graphUID atomic.Uint64
+
+// NodeID identifies a node in a Graph. IDs are dense and start at 0.
+type NodeID int32
+
+// Edge is one directed adjacency entry.
+type Edge struct {
+	To    NodeID // neighbor (head for out-edges, tail for in-edges)
+	Label int32  // interned edge label; 0 means unlabeled
+}
+
+// AttrValue is one attribute-value pair of a node tuple f_A(v).
+type AttrValue struct {
+	Attr int32 // interned attribute name
+	Val  Value
+}
+
+// Graph is a directed, attributed graph G = (V, E, L, f_A). Nodes and
+// edges carry labels; each node carries a tuple of attribute-value
+// pairs. Graphs are built single-threaded and are safe for concurrent
+// reads afterwards.
+type Graph struct {
+	// Labels interns node and edge labels; Attrs interns attribute names.
+	Labels *Interner
+	Attrs  *Interner
+
+	labels  []int32       // node label, indexed by NodeID
+	attrs   [][]AttrValue // node tuple sorted by Attr, indexed by NodeID
+	out, in [][]Edge
+	byLabel map[int32][]NodeID
+	edges   int
+
+	// lazily computed caches, invalidated on mutation
+	diam  int
+	adoms map[int32]*Domain
+
+	uid uint64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		Labels:  NewInterner(),
+		Attrs:   NewInterner(),
+		byLabel: make(map[int32][]NodeID),
+		diam:    -1,
+		uid:     graphUID.Add(1),
+	}
+}
+
+// UID returns a process-unique identity for this graph instance.
+func (g *Graph) UID() uint64 { return g.uid }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddNode adds a node with the given label and attribute tuple and
+// returns its id.
+func (g *Graph) AddNode(label string, attrs map[string]Value) NodeID {
+	id := NodeID(len(g.labels))
+	lid := g.Labels.Intern(label)
+	g.labels = append(g.labels, lid)
+	// Intern in sorted-name order so attribute ids (and everything
+	// derived from them) are deterministic across runs regardless of
+	// map iteration order.
+	names := make([]string, 0, len(attrs))
+	for name := range attrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tuple := make([]AttrValue, 0, len(attrs))
+	for _, name := range names {
+		tuple = append(tuple, AttrValue{Attr: g.Attrs.Intern(name), Val: attrs[name]})
+	}
+	sort.Slice(tuple, func(i, j int) bool { return tuple[i].Attr < tuple[j].Attr })
+	g.attrs = append(g.attrs, tuple)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.byLabel[lid] = append(g.byLabel[lid], id)
+	g.invalidate()
+	return id
+}
+
+// SetAttr sets (or overwrites) one attribute of node v.
+func (g *Graph) SetAttr(v NodeID, name string, val Value) {
+	aid := g.Attrs.Intern(name)
+	tuple := g.attrs[v]
+	i := sort.Search(len(tuple), func(i int) bool { return tuple[i].Attr >= aid })
+	if i < len(tuple) && tuple[i].Attr == aid {
+		tuple[i].Val = val
+	} else {
+		tuple = append(tuple, AttrValue{})
+		copy(tuple[i+1:], tuple[i:])
+		tuple[i] = AttrValue{Attr: aid, Val: val}
+		g.attrs[v] = tuple
+	}
+	g.invalidate()
+}
+
+// AddEdge adds a directed edge from → to with an optional label.
+func (g *Graph) AddEdge(from, to NodeID, label string) {
+	lid := g.Labels.Intern(label)
+	g.out[from] = append(g.out[from], Edge{To: to, Label: lid})
+	g.in[to] = append(g.in[to], Edge{To: from, Label: lid})
+	g.edges++
+	g.invalidate()
+}
+
+func (g *Graph) invalidate() {
+	g.diam = -1
+	g.adoms = nil
+}
+
+// Label returns the label of node v.
+func (g *Graph) Label(v NodeID) string { return g.Labels.Name(g.labels[v]) }
+
+// LabelID returns the interned label of node v.
+func (g *Graph) LabelID(v NodeID) int32 { return g.labels[v] }
+
+// Attr returns the value of attribute name on node v.
+func (g *Graph) Attr(v NodeID, name string) (Value, bool) {
+	aid, ok := g.Attrs.Lookup(name)
+	if !ok {
+		return Value{}, false
+	}
+	return g.AttrByID(v, aid)
+}
+
+// AttrByID returns the value of the interned attribute aid on node v.
+func (g *Graph) AttrByID(v NodeID, aid int32) (Value, bool) {
+	tuple := g.attrs[v]
+	i := sort.Search(len(tuple), func(i int) bool { return tuple[i].Attr >= aid })
+	if i < len(tuple) && tuple[i].Attr == aid {
+		return tuple[i].Val, true
+	}
+	return Value{}, false
+}
+
+// Tuple returns the attribute tuple f_A(v), sorted by attribute id.
+// The caller must not mutate the returned slice.
+func (g *Graph) Tuple(v NodeID) []AttrValue { return g.attrs[v] }
+
+// Out returns the out-adjacency of v. The caller must not mutate it.
+func (g *Graph) Out(v NodeID) []Edge { return g.out[v] }
+
+// In returns the in-adjacency of v. The caller must not mutate it.
+func (g *Graph) In(v NodeID) []Edge { return g.in[v] }
+
+// Degree returns the total (in+out) degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.out[v]) + len(g.in[v]) }
+
+// NodesByLabel returns all nodes carrying the given label, or every node
+// when label is the empty wildcard. The caller must not mutate the
+// returned slice (except for the wildcard case, which is fresh).
+func (g *Graph) NodesByLabel(label string) []NodeID {
+	if label == "" {
+		all := make([]NodeID, g.NumNodes())
+		for i := range all {
+			all[i] = NodeID(i)
+		}
+		return all
+	}
+	lid, ok := g.Labels.Lookup(label)
+	if !ok {
+		return nil
+	}
+	return g.byLabel[lid]
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(|V|=%d, |E|=%d, labels=%d, attrs=%d)",
+		g.NumNodes(), g.NumEdges(), g.Labels.Len()-1, g.Attrs.Len()-1)
+}

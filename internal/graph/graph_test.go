@@ -1,0 +1,320 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds 0 → 1 → … → n-1.
+func chain(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode("N", map[string]Value{"idx": N(float64(i))})
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1), "next")
+	}
+	return g
+}
+
+// randomGraph builds a seeded random directed graph.
+func randomGraph(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	labels := []string{"A", "B", "C"}
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[rng.Intn(len(labels))], map[string]Value{
+			"x": N(float64(rng.Intn(10))),
+			"s": S(labels[rng.Intn(len(labels))]),
+		})
+	}
+	for i := 0; i < m; i++ {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if a != b {
+			g.AddEdge(a, b, "e")
+		}
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := New()
+	a := g.AddNode("Person", map[string]Value{"Age": N(30), "Name": S("Ann")})
+	b := g.AddNode("Person", map[string]Value{"Age": N(40)})
+	c := g.AddNode("City", nil)
+	g.AddEdge(a, c, "lives")
+	g.AddEdge(b, c, "lives")
+
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("size = (%d,%d), want (3,2)", g.NumNodes(), g.NumEdges())
+	}
+	if g.Label(a) != "Person" || g.Label(c) != "City" {
+		t.Error("labels wrong")
+	}
+	if v, ok := g.Attr(a, "Age"); !ok || !v.Equal(N(30)) {
+		t.Error("Attr(a, Age) wrong")
+	}
+	if _, ok := g.Attr(a, "Height"); ok {
+		t.Error("missing attribute should miss")
+	}
+	if _, ok := g.Attr(c, "Age"); ok {
+		t.Error("attr on attrless node should miss")
+	}
+	if len(g.NodesByLabel("Person")) != 2 {
+		t.Error("NodesByLabel(Person) wrong")
+	}
+	if len(g.NodesByLabel("")) != 3 {
+		t.Error("wildcard label should list all nodes")
+	}
+	if g.NodesByLabel("Country") != nil {
+		t.Error("unknown label should be empty")
+	}
+	if g.Degree(c) != 2 || g.Degree(a) != 1 {
+		t.Error("degrees wrong")
+	}
+	if len(g.Out(a)) != 1 || g.Out(a)[0].To != c {
+		t.Error("out adjacency wrong")
+	}
+	if len(g.In(c)) != 2 {
+		t.Error("in adjacency wrong")
+	}
+}
+
+func TestSetAttr(t *testing.T) {
+	g := New()
+	a := g.AddNode("X", map[string]Value{"p": N(1)})
+	g.SetAttr(a, "p", N(2))
+	if v, _ := g.Attr(a, "p"); !v.Equal(N(2)) {
+		t.Error("overwrite failed")
+	}
+	g.SetAttr(a, "q", S("new"))
+	if v, ok := g.Attr(a, "q"); !ok || !v.Equal(S("new")) {
+		t.Error("insert failed")
+	}
+	// Tuple must stay sorted by attribute id.
+	tuple := g.Tuple(a)
+	for i := 1; i < len(tuple); i++ {
+		if tuple[i-1].Attr >= tuple[i].Attr {
+			t.Error("tuple not sorted after SetAttr")
+		}
+	}
+}
+
+func TestTupleSortedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(20, 30, seed)
+		for i := 0; i < g.NumNodes(); i++ {
+			tuple := g.Tuple(NodeID(i))
+			for j := 1; j < len(tuple); j++ {
+				if tuple[j-1].Attr >= tuple[j].Attr {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistChain(t *testing.T) {
+	g := chain(6)
+	if d := g.Dist(0, 5, 10); d != 5 {
+		t.Errorf("Dist(0,5) = %d, want 5", d)
+	}
+	if d := g.Dist(0, 5, 4); d != Unreachable {
+		t.Errorf("bounded Dist should be unreachable, got %d", d)
+	}
+	if d := g.Dist(5, 0, 10); d != Unreachable {
+		t.Errorf("reverse Dist on a directed chain should be unreachable, got %d", d)
+	}
+	if d := g.Dist(3, 3, 0); d != 0 {
+		t.Errorf("Dist(v,v) = %d, want 0", d)
+	}
+}
+
+// naiveDist is a reference implementation for property testing.
+func naiveDist(g *Graph, from, to NodeID, dir Direction) int {
+	dist := map[NodeID]int{from: 0}
+	queue := []NodeID{from}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		var nbs []Edge
+		if dir == Forward || dir == Both {
+			nbs = append(nbs, g.Out(v)...)
+		}
+		if dir == Backward || dir == Both {
+			nbs = append(nbs, g.In(v)...)
+		}
+		for _, e := range nbs {
+			if _, seen := dist[e.To]; !seen {
+				dist[e.To] = dist[v] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if d, ok := dist[to]; ok {
+		return d
+	}
+	return Unreachable
+}
+
+// TestBallMatchesNaive cross-checks Ball against a reference BFS in all
+// three directions.
+func TestBallMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomGraph(25, 50, seed)
+		for _, dir := range []Direction{Forward, Backward, Both} {
+			src := NodeID(int(seed) % g.NumNodes())
+			ball := g.Ball(src, 4, dir)
+			seen := map[NodeID]int32{}
+			for _, nd := range ball {
+				if _, dup := seen[nd.V]; dup {
+					t.Fatalf("seed %d: Ball yields duplicate node %d", seed, nd.V)
+				}
+				seen[nd.V] = nd.D
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				want := naiveDist(g, src, NodeID(v), dir)
+				got, ok := seen[NodeID(v)]
+				switch {
+				case want <= 4 && (!ok || int(got) != want):
+					t.Fatalf("seed %d dir %d: Ball dist(%d→%d) = %v (ok=%v), want %d",
+						seed, dir, src, v, got, ok, want)
+				case want > 4 && ok:
+					t.Fatalf("seed %d dir %d: Ball includes node beyond bound", seed, dir)
+				}
+			}
+		}
+	}
+}
+
+// TestDistMatchesNaive cross-checks the bounded Dist.
+func TestDistMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomGraph(20, 40, seed)
+		for a := 0; a < g.NumNodes(); a += 3 {
+			for b := 0; b < g.NumNodes(); b += 3 {
+				want := naiveDist(g, NodeID(a), NodeID(b), Forward)
+				got := g.Dist(NodeID(a), NodeID(b), g.NumNodes())
+				if got != want {
+					t.Fatalf("seed %d: Dist(%d,%d) = %d, want %d", seed, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBallFirstEntryIsOrigin(t *testing.T) {
+	g := chain(4)
+	ball := g.Ball(1, 2, Forward)
+	if len(ball) == 0 || ball[0].V != 1 || ball[0].D != 0 {
+		t.Errorf("Ball must start with (origin, 0): %v", ball)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	g := chain(7)
+	if d := g.Diameter(); d != 6 {
+		t.Errorf("chain diameter = %d, want 6", d)
+	}
+	// Cached value survives repeated calls.
+	if d := g.Diameter(); d != 6 {
+		t.Errorf("cached diameter = %d, want 6", d)
+	}
+	// Mutation invalidates the cache.
+	g.AddNode("N", nil)
+	g.AddEdge(6, 7, "next")
+	if d := g.Diameter(); d != 7 {
+		t.Errorf("diameter after growth = %d, want 7", d)
+	}
+	empty := New()
+	if d := empty.Diameter(); d != 1 {
+		t.Errorf("empty graph diameter = %d, want 1 (cost-normalization floor)", d)
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	g := New()
+	g.AddNode("P", map[string]Value{"price": N(10), "tag": S("a")})
+	g.AddNode("P", map[string]Value{"price": N(30), "tag": S("b")})
+	g.AddNode("P", map[string]Value{"price": N(10), "tag": S("a")})
+
+	d := g.ActiveDomain("price")
+	if len(d.Values) != 2 {
+		t.Fatalf("price domain = %v, want 2 distinct values", d.Values)
+	}
+	if d.Range() != 20 {
+		t.Errorf("price range = %v, want 20", d.Range())
+	}
+	if !d.Contains(N(30)) || d.Contains(N(20)) {
+		t.Error("Contains wrong")
+	}
+	if got := g.ActiveDomain("tag").Range(); got != 1 {
+		t.Errorf("string attr range = %v, want fallback 1", got)
+	}
+	if got := g.ActiveDomain("missing"); len(got.Values) != 0 {
+		t.Errorf("missing attribute domain should be empty")
+	}
+	// Domains must be sorted.
+	for i := 1; i < len(d.Values); i++ {
+		if d.Values[i-1].Compare(d.Values[i]) >= 0 {
+			t.Error("domain values not sorted")
+		}
+	}
+	// Mutation invalidates the cache.
+	g.AddNode("P", map[string]Value{"price": N(99)})
+	if d2 := g.ActiveDomain("price"); len(d2.Values) != 3 {
+		t.Errorf("domain after mutation = %v, want 3 values", d2.Values)
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	g := randomGraph(15, 25, 99)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip size mismatch: (%d,%d) vs (%d,%d)",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		v := NodeID(i)
+		if g.Label(v) != g2.Label(v) {
+			t.Fatalf("label mismatch at %d", i)
+		}
+		for _, av := range g.Tuple(v) {
+			name := g.Attrs.Name(av.Attr)
+			got, ok := g2.Attr(v, name)
+			if !ok || !got.Equal(av.Val) {
+				t.Fatalf("attr %q mismatch at node %d", name, i)
+			}
+		}
+		if len(g.Out(v)) != len(g2.Out(v)) {
+			t.Fatalf("out degree mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"nodes":[{"id":1,"label":"A"}],"edges":[]}`,                     // non-dense ids
+		`{"nodes":[{"id":0,"label":"A"}],"edges":[{"src":0,"dst":5}]}`,    // edge out of range
+		`{"nodes":[{"id":0,"label":"A","attrs":{"x":[1,2]}}],"edges":[]}`, // bad attr type
+	}
+	for _, s := range bad {
+		if _, err := ReadJSON(bytes.NewBufferString(s)); err == nil {
+			t.Errorf("ReadJSON(%q) should fail", s)
+		}
+	}
+}

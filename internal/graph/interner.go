@@ -1,0 +1,40 @@
+package graph
+
+// Interner maps strings to small dense integer ids and back. Labels and
+// attribute names are interned so hot matching loops compare int32s
+// instead of strings.
+type Interner struct {
+	byName map[string]int32
+	names  []string
+}
+
+// NewInterner returns an empty interner. ID 0 is reserved for the empty
+// string, which the query model uses as the wildcard label '⊥'.
+func NewInterner() *Interner {
+	in := &Interner{byName: make(map[string]int32)}
+	in.Intern("")
+	return in
+}
+
+// Intern returns the id for s, assigning a fresh one on first sight.
+func (in *Interner) Intern(s string) int32 {
+	if id, ok := in.byName[s]; ok {
+		return id
+	}
+	id := int32(len(in.names))
+	in.byName[s] = id
+	in.names = append(in.names, s)
+	return id
+}
+
+// Lookup returns the id for s and whether it has been interned.
+func (in *Interner) Lookup(s string) (int32, bool) {
+	id, ok := in.byName[s]
+	return id, ok
+}
+
+// Name returns the string for id. It panics on ids never issued.
+func (in *Interner) Name(id int32) string { return in.names[id] }
+
+// Len returns the number of interned strings (including the empty one).
+func (in *Interner) Len() int { return len(in.names) }

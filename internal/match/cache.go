@@ -1,0 +1,100 @@
+package match
+
+import "sync"
+
+// Cache is the global star-view cache of §5.2. Entries are keyed by the
+// structural star key; each use bumps a hit counter that decays with a
+// time factor, and when the cache is full the least-hit entry is
+// evicted.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	decay   float64
+	tick    int64
+	entries map[string]*cacheEntry
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	table    *StarTable
+	hits     float64
+	lastTick int64
+}
+
+// NewCache returns a star-view cache holding at most capacity tables.
+// The decay factor (0 < decay ≤ 1) halves stale hit counts roughly
+// every 1/(1−decay) uses; 0.95 is a good default.
+func NewCache(capacity int, decay float64) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if decay <= 0 || decay > 1 {
+		decay = 0.95
+	}
+	return &Cache{cap: capacity, decay: decay, entries: map[string]*cacheEntry{}}
+}
+
+// Get returns the cached star table for key, bumping its decayed hit
+// count, or nil.
+func (c *Cache) Get(key string) *StarTable {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.bump(e)
+	return e.table
+}
+
+// bump applies the time decay then counts one hit.
+func (c *Cache) bump(e *cacheEntry) {
+	age := c.tick - e.lastTick
+	for i := int64(0); i < age && e.hits > 1e-6; i++ {
+		e.hits *= c.decay
+	}
+	e.hits++
+	e.lastTick = c.tick
+}
+
+// Put stores a star table, evicting the least-hit entry when full.
+func (c *Cache) Put(key string, t *StarTable) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	if e, ok := c.entries[key]; ok {
+		e.table = t
+		c.bump(e)
+		return
+	}
+	if len(c.entries) >= c.cap {
+		worstKey := ""
+		worst := 0.0
+		first := true
+		for k, e := range c.entries {
+			if first || e.hits < worst {
+				worstKey, worst, first = k, e.hits, false
+			}
+		}
+		delete(c.entries, worstKey)
+	}
+	c.entries[key] = &cacheEntry{table: t, hits: 1, lastTick: c.tick}
+}
+
+// Len returns the number of cached tables.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,354 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"wqe/internal/distindex"
+	"wqe/internal/graph"
+	"wqe/internal/query"
+)
+
+// Matcher evaluates pattern queries over one graph. A non-nil Cache
+// makes repeated evaluation of similar queries (the Q-Chase workload)
+// incremental: structurally unchanged stars are reused.
+type Matcher struct {
+	G     *graph.Graph
+	Dist  distindex.Index
+	Cache *Cache
+}
+
+// NewMatcher returns a matcher over g using the given distance oracle
+// and an optional star-view cache (nil disables caching).
+func NewMatcher(g *graph.Graph, dist distindex.Index, cache *Cache) *Matcher {
+	return &Matcher{G: g, Dist: dist, Cache: cache}
+}
+
+// StarInstance binds one star of the current query to its materialized
+// table. The table may come from the cache and have been built from a
+// structurally equal query whose edges were ordered differently; Cols
+// maps the current star's edge positions to table columns.
+type StarInstance struct {
+	Star  *StarQuery
+	Table *StarTable
+	Cols  []int
+}
+
+// Result is one query evaluation: the star view used, per-node
+// candidate sets, and the answer Q(G) (the matches of the focus).
+type Result struct {
+	Query      *query.Query
+	Stars      []StarInstance
+	Candidates [][]graph.NodeID
+	Answer     []graph.NodeID // sorted
+}
+
+// Has reports whether v ∈ Q(G).
+func (r *Result) Has(v graph.NodeID) bool {
+	i := sort.Search(len(r.Answer), func(i int) bool { return r.Answer[i] >= v })
+	return i < len(r.Answer) && r.Answer[i] == v
+}
+
+// Match evaluates q: it decomposes q into star views, materializes (or
+// fetches cached) star tables, prunes focus candidates to those
+// supported by every star, and verifies each survivor with a
+// backtracking search over the star tables (§5.2); BFS fills in only
+// where no star column applies.
+func (m *Matcher) Match(q *query.Query) *Result {
+	res := &Result{
+		Query:      q,
+		Candidates: make([][]graph.NodeID, len(q.Nodes)),
+	}
+	for u := range q.Nodes {
+		res.Candidates[u] = q.Candidates(m.G, query.NodeID(u))
+	}
+
+	for _, s := range Decompose(q) {
+		var t *StarTable
+		if m.Cache != nil {
+			// The graph uid keeps one cache safe to share across graphs.
+			key := fmt.Sprintf("g%d|%s", m.G.UID(), s.Key(q))
+			if t = m.Cache.Get(key); t == nil {
+				t = buildStarTable(m.G, q, s)
+				m.Cache.Put(key, t)
+			}
+		} else {
+			t = buildStarTable(m.G, q, s)
+		}
+		res.Stars = append(res.Stars, StarInstance{
+			Star:  s,
+			Table: t,
+			Cols:  columnMap(q, s, t),
+		})
+	}
+
+	// Focus pool: candidates supported by every star under the current
+	// focus literals.
+	pool := res.Candidates[q.Focus]
+	supports := make([]map[graph.NodeID]bool, len(res.Stars))
+	for i, inst := range res.Stars {
+		supports[i] = inst.Table.FocusSupport(m.G, q)
+	}
+	var verified []graph.NodeID
+	v := &verifier{m: m, q: q, cands: res.Candidates, stars: res.Stars}
+	v.prepare()
+outer:
+	for _, cand := range pool {
+		for _, sup := range supports {
+			if sup != nil && !sup[cand] {
+				continue outer
+			}
+		}
+		if v.verify(cand) {
+			verified = append(verified, cand)
+		}
+	}
+	sort.Slice(verified, func(i, j int) bool { return verified[i] < verified[j] })
+	res.Answer = verified
+	return res
+}
+
+// columnMap matches the current star's edges to the table's columns by
+// structural signature. For freshly built tables this is the identity;
+// for cached tables the signatures admit a perfect matching because
+// the cache key is signature-derived.
+func columnMap(q *query.Query, s *StarQuery, t *StarTable) []int {
+	cols := make([]int, len(s.Edges))
+	used := make([]bool, len(t.ColSigs))
+	for i, e := range s.Edges {
+		sig := edgeSig(q, e)
+		cols[i] = -1
+		for c, csig := range t.ColSigs {
+			if !used[c] && csig == sig {
+				used[c] = true
+				cols[i] = c
+				break
+			}
+		}
+	}
+	return cols
+}
+
+// verifier runs the per-candidate backtracking search. Pattern nodes
+// are visited in a BFS order from the focus so each new node is
+// anchored by an already-assigned neighbor whenever the pattern is
+// connected. Candidate enumeration reads star-table rows — the
+// materialized, bound- and literal-filtered partner lists — and only
+// falls back to BFS balls for edges no star column covers.
+type verifier struct {
+	m      *Matcher
+	q      *query.Query
+	cands  [][]graph.NodeID
+	stars  []StarInstance
+	order  []query.NodeID
+	h      []graph.NodeID // assignment, -1 = unassigned
+	used   map[graph.NodeID]bool
+	checks []query.NodeCheck // compiled per-pattern-node predicates
+	// colFor maps (pattern edge, center pattern node) to a star table
+	// column: the materialized partner list for that edge anchored at a
+	// center match.
+	colFor map[enumKey]enumRef
+}
+
+type enumKey struct {
+	edge   int
+	center query.NodeID
+}
+
+type enumRef struct {
+	star int
+	col  int
+}
+
+func (v *verifier) prepare() {
+	q := v.q
+	seen := make([]bool, len(q.Nodes))
+	// Isolated non-focus nodes pose no constraint (query.IsolatedIgnored)
+	// and are excluded from the valuation entirely.
+	for u := range q.Nodes {
+		if q.IsolatedIgnored(query.NodeID(u)) {
+			seen[u] = true
+		}
+	}
+	v.order = append(v.order[:0], q.Focus)
+	seen[q.Focus] = true
+	for i := 0; i < len(v.order); i++ {
+		for _, nb := range q.Neighbors(v.order[i]) {
+			if !seen[nb] {
+				seen[nb] = true
+				v.order = append(v.order, nb)
+			}
+		}
+		// When the BFS exhausts a component, continue from any unseen
+		// node (disconnected patterns arise after RmE).
+		if i == len(v.order)-1 {
+			for u := range q.Nodes {
+				if !seen[u] {
+					seen[u] = true
+					v.order = append(v.order, query.NodeID(u))
+					break
+				}
+			}
+		}
+	}
+	v.h = make([]graph.NodeID, len(q.Nodes))
+	v.used = map[graph.NodeID]bool{}
+	v.checks = make([]query.NodeCheck, len(q.Nodes))
+	for u := range q.Nodes {
+		v.checks[u] = q.Check(v.m.G, query.NodeID(u))
+	}
+
+	v.colFor = map[enumKey]enumRef{}
+	for si, inst := range v.stars {
+		for k, se := range inst.Star.Edges {
+			if inst.Cols[k] < 0 {
+				continue
+			}
+			v.colFor[enumKey{edge: se.EdgeIdx, center: inst.Star.Center}] =
+				enumRef{star: si, col: inst.Cols[k]}
+		}
+	}
+}
+
+// verify reports whether an injective valuation with h(focus) = cand
+// exists.
+func (v *verifier) verify(cand graph.NodeID) bool {
+	for i := range v.h {
+		v.h[i] = -1
+	}
+	clear(v.used)
+	v.h[v.q.Focus] = cand
+	v.used[cand] = true
+	ok := v.extend(1)
+	delete(v.used, cand)
+	return ok
+}
+
+// edgeConstraint is one distance requirement between the node being
+// assigned and an already-assigned anchor.
+type edgeConstraint struct {
+	edge      int          // pattern edge index
+	anchorPat query.NodeID // assigned endpoint's pattern node
+	anchor    graph.NodeID // its image
+	bound     int
+	out       bool // anchor → u in the pattern
+}
+
+func (v *verifier) extend(depth int) bool {
+	if depth == len(v.order) {
+		return true
+	}
+	u := v.order[depth]
+
+	var cons []edgeConstraint
+	for ei, e := range v.q.Edges {
+		switch {
+		case e.From == u && v.h[e.To] >= 0:
+			cons = append(cons, edgeConstraint{
+				edge: ei, anchorPat: e.To, anchor: v.h[e.To], bound: e.Bound, out: false})
+		case e.To == u && v.h[e.From] >= 0:
+			cons = append(cons, edgeConstraint{
+				edge: ei, anchorPat: e.From, anchor: v.h[e.From], bound: e.Bound, out: true})
+		}
+	}
+
+	try := func(w graph.NodeID) bool {
+		if v.used[w] {
+			return false
+		}
+		v.h[u] = w
+		v.used[w] = true
+		ok := v.extend(depth + 1)
+		v.h[u] = -1
+		delete(v.used, w)
+		return ok
+	}
+
+	if len(cons) == 0 {
+		for _, w := range v.cands[u] {
+			if try(w) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Enumeration source: prefer the smallest star-table partner list
+	// among the constraints; its entries are already distance- and
+	// candidate-filtered (focus entries are label-only and re-checked).
+	bestList := -1
+	var list []NbrEntry
+	for i, c := range cons {
+		ref, ok := v.colFor[enumKey{edge: c.edge, center: c.anchorPat}]
+		if !ok {
+			continue
+		}
+		row := v.stars[ref.star].Table.Row(c.anchor)
+		if row == nil {
+			// The anchor is not a match of its star's center: no
+			// valuation extends this assignment.
+			return false
+		}
+		if l := row.Nbrs[ref.col]; bestList < 0 || len(l) < len(list) {
+			bestList, list = i, l
+		}
+	}
+
+	checkRest := func(w graph.NodeID, skip int) bool {
+		for i, c := range cons {
+			if i == skip {
+				continue
+			}
+			var within bool
+			if c.out {
+				within = v.m.Dist.Within(c.anchor, w, c.bound)
+			} else {
+				within = v.m.Dist.Within(w, c.anchor, c.bound)
+			}
+			if !within {
+				return false
+			}
+		}
+		return true
+	}
+
+	if bestList >= 0 {
+		needLitCheck := u == v.q.Focus // focus columns are label-only
+		for _, en := range list {
+			w := en.V
+			if needLitCheck && !v.checks[u].Candidate(v.m.G, w) {
+				continue
+			}
+			if checkRest(w, bestList) && try(w) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Fallback: expand the smallest-bound constraint's ball.
+	best := 0
+	for i := 1; i < len(cons); i++ {
+		if cons[i].bound < cons[best].bound {
+			best = i
+		}
+	}
+	bc := cons[best]
+	dir := graph.Forward
+	if !bc.out {
+		dir = graph.Backward
+	}
+	for _, nd := range v.m.G.Ball(bc.anchor, bc.bound, dir) {
+		if nd.D == 0 {
+			continue
+		}
+		w := nd.V
+		if !v.checks[u].Candidate(v.m.G, w) {
+			continue
+		}
+		if checkRest(w, best) && try(w) {
+			return true
+		}
+	}
+	return false
+}

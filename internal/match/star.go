@@ -1,0 +1,178 @@
+// Package match implements pattern-query evaluation (P-homomorphism
+// with edge-to-path matching, §2.1) and the star-view machinery of
+// §2.3/§5.2: queries decompose into star queries whose materialized
+// star tables are cached and reused across the highly similar query
+// rewrites a Q-Chase produces.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wqe/internal/graph"
+	"wqe/internal/query"
+)
+
+// StarEdge is one pattern edge of a star, seen from the center.
+type StarEdge struct {
+	EdgeIdx int          // index into the owning query's Edges
+	Other   query.NodeID // the non-center endpoint
+	Out     bool         // true when the edge is center → Other
+	Bound   int
+}
+
+// StarQuery is one star of a star view Q.S: a center, the pattern edges
+// incident to it, and — when the focus is not the center or one of its
+// neighbors — an augmented edge to the focus labeled with their
+// distance in Q.
+type StarQuery struct {
+	Center   query.NodeID
+	Edges    []StarEdge
+	HasFocus bool // center or a neighbor is the focus
+	AugDist  int  // augmented-edge label; 0 when HasFocus
+}
+
+// Decompose computes a star view of q: a set of stars, greedily chosen
+// by uncovered-edge count, covering every node and edge (§2.3). The
+// focus participates in every star either directly or via an augmented
+// edge.
+func Decompose(q *query.Query) []*StarQuery {
+	covered := make([]bool, len(q.Edges))
+	nodeCovered := make([]bool, len(q.Nodes))
+	var stars []*StarQuery
+
+	uncoveredAt := func(u query.NodeID) int {
+		n := 0
+		for i, e := range q.Edges {
+			if !covered[i] && (e.From == u || e.To == u) {
+				n++
+			}
+		}
+		return n
+	}
+
+	for {
+		best, bestN := query.NodeID(-1), 0
+		for u := range q.Nodes {
+			if n := uncoveredAt(query.NodeID(u)); n > bestN {
+				best, bestN = query.NodeID(u), n
+			}
+		}
+		if bestN == 0 {
+			break
+		}
+		stars = append(stars, makeStar(q, best))
+		nodeCovered[best] = true
+		for i, e := range q.Edges {
+			if e.From == best || e.To == best {
+				covered[i] = true
+				nodeCovered[e.From] = true
+				nodeCovered[e.To] = true
+			}
+		}
+	}
+	// The single-node query gets a singleton star for its focus.
+	// Isolated non-focus nodes pose no constraint (they arise from RmE
+	// detaching an endpoint; see query.IsolatedIgnored) and get none.
+	for u := range q.Nodes {
+		if !nodeCovered[u] && len(q.IncidentEdges(query.NodeID(u))) == 0 &&
+			query.NodeID(u) == q.Focus {
+			stars = append(stars, makeStar(q, query.NodeID(u)))
+		}
+	}
+	return stars
+}
+
+func makeStar(q *query.Query, center query.NodeID) *StarQuery {
+	s := &StarQuery{Center: center}
+	hasFocus := center == q.Focus
+	for i, e := range q.Edges {
+		switch center {
+		case e.From:
+			s.Edges = append(s.Edges, StarEdge{EdgeIdx: i, Other: e.To, Out: true, Bound: e.Bound})
+			if e.To == q.Focus {
+				hasFocus = true
+			}
+		case e.To:
+			s.Edges = append(s.Edges, StarEdge{EdgeIdx: i, Other: e.From, Out: false, Bound: e.Bound})
+			if e.From == q.Focus {
+				hasFocus = true
+			}
+		}
+	}
+	s.HasFocus = hasFocus
+	if !hasFocus {
+		d := q.PatternDist(center, q.Focus)
+		if d == graph.Unreachable {
+			// Disconnected from the focus (possible after RmE): treat as
+			// focus-agnostic; the star then constrains its own nodes only.
+			d = 0
+		}
+		s.AugDist = d
+	}
+	return s
+}
+
+// Key returns a structural cache key for the star within query q: it
+// encodes the center's label and literals, each star edge's direction,
+// bound, and endpoint signature, and the augmented distance — but no
+// pattern-node ids, so structurally identical stars of different
+// rewrites share cache entries. Focus positions are keyed by label
+// only: materialized tables store label-filtered focus columns and
+// apply focus literals at read time, so rewrites differing only in
+// focus predicates share one table.
+func (s *StarQuery) Key(q *query.Query) string {
+	sig := func(u query.NodeID) string {
+		if u == q.Focus {
+			return q.Nodes[u].Label + "{*}"
+		}
+		return nodeSig(q, u)
+	}
+	var b strings.Builder
+	b.WriteString("c:")
+	b.WriteString(sig(s.Center))
+	edges := make([]string, 0, len(s.Edges))
+	for _, e := range s.Edges {
+		edges = append(edges, edgeSig(q, e))
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		b.WriteByte('|')
+		b.WriteString(e)
+	}
+	if s.Center == q.Focus {
+		b.WriteString("|C*")
+	}
+	if !s.HasFocus {
+		fmt.Fprintf(&b, "|aug:%d:%s", s.AugDist, sig(q.Focus))
+	}
+	return b.String()
+}
+
+// edgeSig encodes one star edge's structural signature: direction,
+// bound, and the non-center endpoint's matching signature (label-only
+// for the focus, which star tables store literal-agnostic).
+func edgeSig(q *query.Query, e StarEdge) string {
+	dir := "<"
+	if e.Out {
+		dir = ">"
+	}
+	other := nodeSig(q, e.Other)
+	if e.Other == q.Focus {
+		other = q.Nodes[e.Other].Label + "{*}"
+	}
+	return fmt.Sprintf("%s%d%s", dir, e.Bound, other)
+}
+
+// nodeSig encodes a pattern node's matching semantics: label plus
+// sorted literals.
+func nodeSig(q *query.Query, u query.NodeID) string {
+	n := q.Nodes[u]
+	lits := make([]string, 0, len(n.Literals))
+	for _, l := range n.Literals {
+		lits = append(lits, l.String())
+	}
+	sort.Strings(lits)
+	return n.Label + "{" + strings.Join(lits, ",") + "}"
+}

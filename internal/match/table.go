@@ -1,0 +1,221 @@
+package match
+
+import (
+	"sort"
+
+	"wqe/internal/graph"
+	"wqe/internal/query"
+)
+
+// NbrEntry is one (match, distance) pair of a star-table cell.
+type NbrEntry struct {
+	V    graph.NodeID
+	Dist int32
+}
+
+// StarRow is one row of a star table: a center match plus, per star
+// edge, the matches of the other endpoint reachable within the edge's
+// bound, plus the focus matches reachable within the augmented distance
+// when the star carries an augmented edge.
+type StarRow struct {
+	Center graph.NodeID
+	Nbrs   [][]NbrEntry // parallel to StarQuery.Edges
+	Aug    []NbrEntry   // non-nil only when the star has an augmented edge
+}
+
+// StarTable is the materialization T_i(G) of one star query (§2.3).
+//
+// Occurrences of the focus node are stored label-filtered only: Q-Chase
+// rewrites modify focus predicates constantly, and keeping the focus
+// columns literal-agnostic lets one materialized table serve every
+// rewrite that differs only in focus literals (the incremental
+// verification of §2.3). FocusSupport applies the current focus
+// literals at read time.
+type StarTable struct {
+	Star *StarQuery
+	Rows []StarRow
+	// focusIsCenter records whether rows are focus candidates.
+	focusIsCenter bool
+	// focusEdges are the star-edge indices whose Other is the focus.
+	focusEdges []int
+	// rowOf indexes Rows by center match (built at materialization, so
+	// cached tables stay safe for concurrent readers).
+	rowOf map[graph.NodeID]int
+	// ColSigs are the per-column structural signatures (direction,
+	// bound, endpoint signature). A cached table may have been built
+	// from a structurally equal query whose edges were ordered
+	// differently; consumers map their star edges to table columns by
+	// signature.
+	ColSigs []string
+}
+
+// Row returns the row for center match v, or nil.
+func (t *StarTable) Row(v graph.NodeID) *StarRow {
+	if i, ok := t.rowOf[v]; ok {
+		return &t.Rows[i]
+	}
+	return nil
+}
+
+// buildStarTable materializes a star over g: one row per center
+// candidate whose every star edge has at least one reachable candidate
+// of the other endpoint. Focus positions are filtered by label only
+// (see StarTable).
+func buildStarTable(g *graph.Graph, q *query.Query, s *StarQuery) *StarTable {
+	t := &StarTable{Star: s, focusIsCenter: s.Center == q.Focus}
+	for i, e := range s.Edges {
+		if e.Other == q.Focus {
+			t.focusEdges = append(t.focusEdges, i)
+		}
+	}
+	// isCand filters a node for pattern node u via compiled predicates;
+	// the focus is filtered by label only.
+	focusLabel := q.Nodes[q.Focus].Label
+	focusLabelID, focusLabelOK := g.Labels.Lookup(focusLabel)
+	checks := make([]query.NodeCheck, len(q.Nodes))
+	for u := range q.Nodes {
+		checks[u] = q.Check(g, query.NodeID(u))
+	}
+	isCand := func(u query.NodeID, v graph.NodeID) bool {
+		if u == q.Focus {
+			return focusLabel == "" || (focusLabelOK && g.LabelID(v) == focusLabelID)
+		}
+		return checks[u].Candidate(g, v)
+	}
+
+	var centerCands []graph.NodeID
+	if t.focusIsCenter {
+		centerCands = g.NodesByLabel(focusLabel)
+	} else {
+		centerCands = q.Candidates(g, s.Center)
+	}
+
+	maxOut, maxIn := 0, 0
+	for _, e := range s.Edges {
+		if e.Out && e.Bound > maxOut {
+			maxOut = e.Bound
+		}
+		if !e.Out && e.Bound > maxIn {
+			maxIn = e.Bound
+		}
+	}
+
+rows:
+	for _, vc := range centerCands {
+		var ballOut, ballIn []graph.NodeDist
+		if maxOut > 0 {
+			ballOut = g.Ball(vc, maxOut, graph.Forward)
+		}
+		if maxIn > 0 {
+			ballIn = g.Ball(vc, maxIn, graph.Backward)
+		}
+		row := StarRow{Center: vc, Nbrs: make([][]NbrEntry, len(s.Edges))}
+		for i, e := range s.Edges {
+			ball := ballOut
+			if !e.Out {
+				ball = ballIn
+			}
+			var entries []NbrEntry
+			for _, nd := range ball {
+				if nd.D == 0 || int(nd.D) > e.Bound {
+					continue
+				}
+				if isCand(e.Other, nd.V) {
+					entries = append(entries, NbrEntry{V: nd.V, Dist: nd.D})
+				}
+			}
+			if len(entries) == 0 {
+				continue rows // center match requires every star edge matched
+			}
+			sort.Slice(entries, func(a, b int) bool { return entries[a].V < entries[b].V })
+			row.Nbrs[i] = entries
+		}
+		if !s.HasFocus && s.AugDist > 0 {
+			aug := g.Ball(vc, s.AugDist, graph.Both)
+			for _, nd := range aug {
+				if nd.D == 0 {
+					continue
+				}
+				if isCand(q.Focus, nd.V) {
+					row.Aug = append(row.Aug, NbrEntry{V: nd.V, Dist: nd.D})
+				}
+			}
+			if len(row.Aug) == 0 {
+				continue rows // no focus candidate near this center match
+			}
+			sort.Slice(row.Aug, func(a, b int) bool { return row.Aug[a].V < row.Aug[b].V })
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.rowOf = make(map[graph.NodeID]int, len(t.Rows))
+	for i := range t.Rows {
+		t.rowOf[t.Rows[i].Center] = i
+	}
+	for _, e := range s.Edges {
+		t.ColSigs = append(t.ColSigs, edgeSig(q, e))
+	}
+	return t
+}
+
+// FocusSupport returns the focus candidates this table supports under
+// the query's current focus literals: nodes appearing at a focus
+// position of some row and satisfying every focus literal. A nil result
+// means the star is disconnected from the focus and supports all
+// candidates.
+func (t *StarTable) FocusSupport(g *graph.Graph, q *query.Query) map[graph.NodeID]bool {
+	s := t.Star
+	if !s.HasFocus && s.AugDist == 0 {
+		return nil
+	}
+	check := q.Check(g, q.Focus)
+	// Memoize per-node verdicts: hub-heavy tables repeat focus entries
+	// across many rows.
+	verdict := map[graph.NodeID]bool{}
+	pass := func(v graph.NodeID) bool {
+		if ok, seen := verdict[v]; seen {
+			return ok
+		}
+		ok := check.Candidate(g, v)
+		verdict[v] = ok
+		return ok
+	}
+	support := map[graph.NodeID]bool{}
+	for _, row := range t.Rows {
+		switch {
+		case t.focusIsCenter:
+			// Center rows must additionally satisfy the focus literals.
+			if pass(row.Center) {
+				support[row.Center] = true
+			}
+		case len(t.focusEdges) > 0:
+			for _, ei := range t.focusEdges {
+				for _, en := range row.Nbrs[ei] {
+					if !support[en.V] && pass(en.V) {
+						support[en.V] = true
+					}
+				}
+			}
+		default:
+			for _, en := range row.Aug {
+				if !support[en.V] && pass(en.V) {
+					support[en.V] = true
+				}
+			}
+		}
+	}
+	return support
+}
+
+// Size returns the number of cells in the table, the |Q.S(G)| measure
+// used in the delay-time analysis.
+func (t *StarTable) Size() int {
+	n := 0
+	for _, r := range t.Rows {
+		n++
+		for _, col := range r.Nbrs {
+			n += len(col)
+		}
+		n += len(r.Aug)
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package ops
+
+import (
+	"fmt"
+	"sort"
+
+	"wqe/internal/graph"
+	"wqe/internal/query"
+)
+
+// Sequence is an ordered list of atomic operators O = {o_1, …, o_m}.
+type Sequence []Op
+
+// Cost returns c(O) = Σ c(o).
+func (s Sequence) Cost(g *graph.Graph) float64 {
+	var total float64
+	for _, o := range s {
+		total += o.Cost(g)
+	}
+	return total
+}
+
+// Apply computes Q ⊕ O, verifying applicability of every step. It
+// returns an error naming the first inapplicable operator.
+func (s Sequence) Apply(q *query.Query, p Params) (*query.Query, error) {
+	cur := q
+	for i, o := range s {
+		if !o.Applicable(cur, p) {
+			return nil, fmt.Errorf("ops: operator %d (%s) not applicable to %s", i, o, cur)
+		}
+		cur = o.Apply(cur)
+	}
+	return cur, nil
+}
+
+// target identifies what an operator touches, for cancel-out detection.
+// Literal operators on the same (node, attribute) share a target; edge
+// operators on the same endpoint pair share a target. AddE with a fresh
+// node gets a unique target (it can never cancel against prior ops).
+func (o Op) target(seq int) string {
+	switch o.Kind {
+	case Empty:
+		return fmt.Sprintf("empty:%d", seq)
+	case RmL, AddL:
+		return fmt.Sprintf("L:%d:%s", o.U, o.Lit.Attr)
+	case RxL, RfL:
+		return fmt.Sprintf("L:%d:%s", o.U, o.Lit.Attr)
+	case RmE, RxE, RfE:
+		return fmt.Sprintf("E:%d:%d", o.U, o.U2)
+	case AddE:
+		if o.NewNode != nil {
+			return fmt.Sprintf("E:new:%d", seq)
+		}
+		return fmt.Sprintf("E:%d:%d", o.U, o.U2)
+	}
+	return "?"
+}
+
+// Canonical reports whether the sequence is canonical (§4): no target is
+// touched by both a relaxation and a refinement (they would cancel out),
+// and no target is touched twice by the same class (redundant — a
+// single operator expresses the combined effect).
+func (s Sequence) Canonical() bool {
+	kinds := map[string]Kind{}
+	for i, o := range s {
+		if o.Kind == Empty {
+			continue
+		}
+		t := o.target(i)
+		if _, seen := kinds[t]; seen {
+			return false
+		}
+		kinds[t] = o.Kind
+	}
+	return true
+}
+
+// normalRank orders operators within a normal form per the constructive
+// proof of Lemma 4.1: relaxations first (RxL, RxE, RmL, then RmE), then
+// refinements (AddE, AddL, RfE, RfL). This ordering keeps every prefix
+// applicable: bound relaxations and literal removals precede edge
+// removals, and edge additions precede the literals/bounds that refer
+// to them.
+func normalRank(k Kind) int {
+	switch k {
+	case RxL:
+		return 0
+	case RxE:
+		return 1
+	case RmL:
+		return 2
+	case RmE:
+		return 3
+	case AddE:
+		return 4
+	case AddL:
+		return 5
+	case RfE:
+		return 6
+	case RfL:
+		return 7
+	}
+	return 8 // Empty sorts last and is dropped by NormalForm
+}
+
+// NormalForm returns an equivalent sequence in normal form (Lemma 4.1):
+// a relaxation-only prefix followed by a refinement-only suffix, with
+// empty operators dropped. The receiver must be canonical; NormalForm
+// returns an error otherwise (non-canonical sequences have cancel-outs
+// whose removal is the caller's responsibility).
+func (s Sequence) NormalForm() (Sequence, error) {
+	if !s.Canonical() {
+		return nil, fmt.Errorf("ops: sequence is not canonical")
+	}
+	out := make(Sequence, 0, len(s))
+	for _, o := range s {
+		if o.Kind != Empty {
+			out = append(out, o)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return normalRank(out[i].Kind) < normalRank(out[j].Kind)
+	})
+	return out, nil
+}
+
+// IsNormalForm reports whether the sequence already has the
+// relax-prefix/refine-suffix shape.
+func (s Sequence) IsNormalForm() bool {
+	seenRefine := false
+	for _, o := range s {
+		switch {
+		case o.Kind == Empty:
+		case o.Kind.IsRefine():
+			seenRefine = true
+		case o.Kind.IsRelax() && seenRefine:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,84 @@
+package ops
+
+import (
+	"strings"
+	"testing"
+
+	"wqe/internal/graph"
+	"wqe/internal/query"
+)
+
+// TestOpStrings: every operator class renders a distinctive string.
+func TestOpStrings(t *testing.T) {
+	priceLit := lit("Price", graph.GE, 840)
+	cases := []struct {
+		o    Op
+		want string
+	}{
+		{Op{Kind: Empty}, "∅"},
+		{Op{Kind: RmL, U: 0, Lit: priceLit}, "RmL(u0"},
+		{Op{Kind: AddL, U: 1, Lit: priceLit}, "AddL(u1"},
+		{Op{Kind: RxL, U: 0, Lit: priceLit, NewLit: lit("Price", graph.GE, 790)}, "RxL(u0.Price"},
+		{Op{Kind: RfL, U: 0, Lit: priceLit, NewLit: lit("Price", graph.GE, 900)}, "RfL(u0.Price"},
+		{Op{Kind: RmE, U: 0, U2: 2, Bound: 2}, "RmE((u0,u2), 2)"},
+		{Op{Kind: AddE, U: 1, U2: 2, Bound: 1}, "AddE((u1,u2), 1)"},
+		{Op{Kind: AddE, U: 0, Bound: 2, NewNode: &NewNodeSpec{Label: "Shop"}}, `AddE((u0,+"Shop"), 2)`},
+		{Op{Kind: RxE, U: 0, U2: 2, Bound: 2, NewBound: 3}, "RxE((u0,u2), 2 → 3)"},
+		{Op{Kind: RfE, U: 0, U2: 2, Bound: 2, NewBound: 1}, "RfE((u0,u2), 2 → 1)"},
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		s := c.o.String()
+		if !strings.Contains(s, c.want) {
+			t.Errorf("String(%v) = %q, want substring %q", c.o.Kind, s, c.want)
+		}
+		if seen[s] {
+			t.Errorf("duplicate rendering %q", s)
+		}
+		seen[s] = true
+	}
+	for _, k := range []Kind{Empty, RmL, RmE, RxL, RxE, AddL, AddE, RfL, RfE} {
+		if k.String() == "" {
+			t.Errorf("Kind %d has empty name", k)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind should render its number")
+	}
+}
+
+// TestCostCategoricalLiteral: categorical RxL/RfL cost the maximum 2.
+func TestCostCategoricalLiteral(t *testing.T) {
+	g, _ := fixture()
+	o := Op{Kind: RxL, U: 0,
+		Lit:    query.Literal{Attr: "Brand", Op: graph.EQ, Val: graph.S("Samsung")},
+		NewLit: query.Literal{Attr: "Brand", Op: graph.EQ, Val: graph.S("Apple")}}
+	if got := o.Cost(g); got != 2 {
+		t.Errorf("categorical RxL cost = %v, want 2", got)
+	}
+}
+
+// TestEmptyOpApply: the empty operator clones without change.
+func TestEmptyOpApply(t *testing.T) {
+	_, q := fixture()
+	q2 := Op{Kind: Empty}.Apply(q)
+	if q2.Key() != q.Key() {
+		t.Error("empty operator changed the query")
+	}
+	if q2 == q {
+		t.Error("Apply must return a fresh query")
+	}
+}
+
+// TestSequenceCost: cost sums.
+func TestSequenceCost(t *testing.T) {
+	g, _ := fixture()
+	seq := Sequence{
+		{Kind: RmL, U: 0, Lit: lit("Price", graph.GE, 840)},
+		{Kind: Empty},
+		{Kind: AddL, U: 1, Lit: lit("Discount", graph.EQ, 25)},
+	}
+	if got := seq.Cost(g); got != 2 {
+		t.Errorf("sequence cost = %v, want 2", got)
+	}
+}

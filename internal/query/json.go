@@ -1,0 +1,116 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wqe/internal/graph"
+)
+
+// jsonQuery is the on-disk shape used by the CLI tools:
+//
+//	{
+//	  "focus": 0,
+//	  "nodes": [
+//	    {"label": "Cellphone",
+//	     "literals": [{"attr": "Price", "op": ">=", "value": 840}]},
+//	    {"label": "Carrier"}
+//	  ],
+//	  "edges": [{"from": 1, "to": 0, "bound": 1}]
+//	}
+type jsonQuery struct {
+	Focus int        `json:"focus"`
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	Label    string        `json:"label"`
+	Literals []jsonLiteral `json:"literals,omitempty"`
+}
+
+type jsonLiteral struct {
+	Attr  string          `json:"attr"`
+	Op    string          `json:"op"`
+	Value json.RawMessage `json:"value"`
+}
+
+type jsonEdge struct {
+	From  int `json:"from"`
+	To    int `json:"to"`
+	Bound int `json:"bound"`
+}
+
+func valueToJSON(v graph.Value) (json.RawMessage, error) {
+	if v.Kind == graph.Number {
+		return json.Marshal(v.Num)
+	}
+	return json.Marshal(v.Str)
+}
+
+func valueFromJSON(raw json.RawMessage) (graph.Value, error) {
+	var num float64
+	if err := json.Unmarshal(raw, &num); err == nil {
+		return graph.N(num), nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return graph.Value{}, fmt.Errorf("query: literal value is neither number nor string")
+	}
+	return graph.S(s), nil
+}
+
+// WriteJSON serializes the query.
+func (q *Query) WriteJSON(w io.Writer) error {
+	jq := jsonQuery{Focus: int(q.Focus)}
+	for _, n := range q.Nodes {
+		jn := jsonNode{Label: n.Label}
+		for _, l := range n.Literals {
+			raw, err := valueToJSON(l.Val)
+			if err != nil {
+				return err
+			}
+			jn.Literals = append(jn.Literals, jsonLiteral{Attr: l.Attr, Op: l.Op.String(), Value: raw})
+		}
+		jq.Nodes = append(jq.Nodes, jn)
+	}
+	for _, e := range q.Edges {
+		jq.Edges = append(jq.Edges, jsonEdge{From: int(e.From), To: int(e.To), Bound: e.Bound})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jq)
+}
+
+// ReadJSON parses a query in the WriteJSON shape and validates it.
+func ReadJSON(r io.Reader) (*Query, error) {
+	var jq jsonQuery
+	if err := json.NewDecoder(r).Decode(&jq); err != nil {
+		return nil, fmt.Errorf("query: decode: %w", err)
+	}
+	q := New()
+	for _, jn := range jq.Nodes {
+		u := q.AddNode(jn.Label)
+		for _, jl := range jn.Literals {
+			op, err := graph.ParseOp(jl.Op)
+			if err != nil {
+				return nil, err
+			}
+			val, err := valueFromJSON(jl.Value)
+			if err != nil {
+				return nil, err
+			}
+			q.Nodes[u].Literals = append(q.Nodes[u].Literals,
+				Literal{Attr: jl.Attr, Op: op, Val: val})
+		}
+	}
+	for _, je := range jq.Edges {
+		q.AddEdge(NodeID(je.From), NodeID(je.To), je.Bound)
+	}
+	q.Focus = NodeID(jq.Focus)
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

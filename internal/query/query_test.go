@@ -1,0 +1,278 @@
+package query
+
+import (
+	"bytes"
+	"testing"
+
+	"wqe/internal/graph"
+)
+
+// sampleGraph: two people in one city, one person elsewhere.
+func sampleGraph() *graph.Graph {
+	g := graph.New()
+	g.AddNode("Person", map[string]graph.Value{"Age": graph.N(30), "Job": graph.S("eng")}) // 0
+	g.AddNode("Person", map[string]graph.Value{"Age": graph.N(50), "Job": graph.S("law")}) // 1
+	g.AddNode("City", map[string]graph.Value{"Pop": graph.N(100000)})                      // 2
+	g.AddNode("Person", map[string]graph.Value{"Age": graph.N(41)})                        // 3
+	g.AddEdge(0, 2, "lives")
+	g.AddEdge(1, 2, "lives")
+	return g
+}
+
+func TestLiteralSat(t *testing.T) {
+	g := sampleGraph()
+	l := Literal{Attr: "Age", Op: graph.GE, Val: graph.N(40)}
+	if l.Sat(g, 0) {
+		t.Error("Age 30 should fail Age >= 40")
+	}
+	if !l.Sat(g, 1) {
+		t.Error("Age 50 should pass Age >= 40")
+	}
+	missing := Literal{Attr: "Salary", Op: graph.GE, Val: graph.N(1)}
+	if missing.Sat(g, 0) {
+		t.Error("literal on missing attribute must fail")
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	g := sampleGraph()
+	q := New()
+	u := q.AddNode("Person", Literal{Attr: "Age", Op: graph.GE, Val: graph.N(40)})
+	q.Focus = u
+	cands := q.Candidates(g, u)
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %v, want two (nodes 1 and 3)", cands)
+	}
+	// Wildcard label matches every node.
+	q2 := New()
+	w := q2.AddNode("")
+	if got := len(q2.Candidates(g, w)); got != 4 {
+		t.Errorf("wildcard candidates = %d, want 4", got)
+	}
+	if !q.IsCandidate(g, u, 1) || q.IsCandidate(g, u, 0) || q.IsCandidate(g, u, 2) {
+		t.Error("IsCandidate inconsistent with Candidates")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	q := New()
+	if q.Validate() == nil {
+		t.Error("empty query must not validate")
+	}
+	a := q.AddNode("A")
+	b := q.AddNode("B")
+	q.AddEdge(a, b, 1)
+	q.Focus = a
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	q.Focus = 7
+	if q.Validate() == nil {
+		t.Error("out-of-range focus must not validate")
+	}
+	q.Focus = a
+	q.Edges = append(q.Edges, Edge{From: a, To: a, Bound: 1})
+	if q.Validate() == nil {
+		t.Error("self-loop must not validate")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := New()
+	u := q.AddNode("A", Literal{Attr: "x", Op: graph.EQ, Val: graph.N(1)})
+	v := q.AddNode("B")
+	q.AddEdge(u, v, 2)
+	q.Focus = u
+
+	c := q.Clone()
+	c.Nodes[0].Literals[0].Val = graph.N(99)
+	c.Edges[0].Bound = 3
+	c.AddNode("C")
+
+	if !q.Nodes[0].Literals[0].Val.Equal(graph.N(1)) {
+		t.Error("clone shares literal storage")
+	}
+	if q.Edges[0].Bound != 2 {
+		t.Error("clone shares edge storage")
+	}
+	if len(q.Nodes) != 2 {
+		t.Error("clone shares node storage")
+	}
+}
+
+func TestPatternDist(t *testing.T) {
+	q := New()
+	a := q.AddNode("A")
+	b := q.AddNode("B")
+	c := q.AddNode("C")
+	d := q.AddNode("D")
+	q.AddEdge(a, b, 2)
+	q.AddEdge(b, c, 1)
+	q.Focus = a
+	if got := q.PatternDist(a, c); got != 3 {
+		t.Errorf("PatternDist(a,c) = %d, want 3 (bounds sum)", got)
+	}
+	if got := q.PatternDist(c, a); got != 3 {
+		t.Errorf("PatternDist must ignore direction, got %d", got)
+	}
+	if got := q.PatternDist(a, a); got != 0 {
+		t.Errorf("PatternDist(a,a) = %d", got)
+	}
+	if got := q.PatternDist(a, d); got != graph.Unreachable {
+		t.Errorf("disconnected PatternDist = %d, want Unreachable", got)
+	}
+}
+
+func TestShape(t *testing.T) {
+	star := New()
+	c := star.AddNode("C")
+	for i := 0; i < 3; i++ {
+		star.AddEdge(c, star.AddNode("L"), 1)
+	}
+	if star.Shape() != TopoStar {
+		t.Errorf("star classified as %v", star.Shape())
+	}
+
+	chainQ := New()
+	a := chainQ.AddNode("A")
+	b := chainQ.AddNode("B")
+	cc := chainQ.AddNode("C")
+	d := chainQ.AddNode("D")
+	chainQ.AddEdge(a, b, 1)
+	chainQ.AddEdge(b, cc, 1)
+	chainQ.AddEdge(cc, d, 1)
+	if chainQ.Shape() != TopoTree {
+		t.Errorf("chain classified as %v", chainQ.Shape())
+	}
+
+	cyc := New()
+	x := cyc.AddNode("X")
+	y := cyc.AddNode("Y")
+	z := cyc.AddNode("Z")
+	cyc.AddEdge(x, y, 1)
+	cyc.AddEdge(y, z, 1)
+	cyc.AddEdge(z, x, 1)
+	if cyc.Shape() != TopoCyclic {
+		t.Errorf("triangle classified as %v", cyc.Shape())
+	}
+
+	single := New()
+	single.AddNode("S")
+	if single.Shape() != TopoSingleton {
+		t.Errorf("singleton classified as %v", single.Shape())
+	}
+
+	// A 2-edge star is also a chain; the classifier must prefer star.
+	twoStar := New()
+	h := twoStar.AddNode("H")
+	twoStar.AddEdge(h, twoStar.AddNode("L"), 1)
+	twoStar.AddEdge(twoStar.AddNode("L"), h, 1)
+	if twoStar.Shape() != TopoStar {
+		t.Errorf("2-edge star classified as %v", twoStar.Shape())
+	}
+}
+
+func TestKey(t *testing.T) {
+	build := func(bound int, price float64) *Query {
+		q := New()
+		u := q.AddNode("A",
+			Literal{Attr: "p", Op: graph.GE, Val: graph.N(price)},
+			Literal{Attr: "q", Op: graph.EQ, Val: graph.S("x")})
+		v := q.AddNode("B")
+		q.AddEdge(u, v, bound)
+		q.Focus = u
+		return q
+	}
+	if build(1, 5).Key() != build(1, 5).Key() {
+		t.Error("identical queries must share keys")
+	}
+	if build(1, 5).Key() == build(2, 5).Key() {
+		t.Error("bound change must change key")
+	}
+	if build(1, 5).Key() == build(1, 6).Key() {
+		t.Error("literal change must change key")
+	}
+	// Literal order must not matter.
+	q1 := New()
+	u1 := q1.AddNode("A",
+		Literal{Attr: "a", Op: graph.EQ, Val: graph.N(1)},
+		Literal{Attr: "b", Op: graph.EQ, Val: graph.N(2)})
+	q1.Focus = u1
+	q2 := New()
+	u2 := q2.AddNode("A",
+		Literal{Attr: "b", Op: graph.EQ, Val: graph.N(2)},
+		Literal{Attr: "a", Op: graph.EQ, Val: graph.N(1)})
+	q2.Focus = u2
+	if q1.Key() != q2.Key() {
+		t.Error("literal order must not affect the key")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	q := New()
+	a := q.AddNode("A", Literal{Attr: "x", Op: graph.GE, Val: graph.N(1)})
+	b := q.AddNode("B")
+	c := q.AddNode("C")
+	q.AddEdge(a, b, 1)
+	q.AddEdge(c, a, 2)
+	q.Focus = a
+
+	if q.FindEdge(a, b) != 0 || q.FindEdge(b, a) != -1 || q.FindEdge(c, a) != 1 {
+		t.Error("FindEdge wrong")
+	}
+	if q.FindLiteral(a, "x", graph.GE) != 0 || q.FindLiteral(a, "x", graph.LE) != -1 {
+		t.Error("FindLiteral wrong")
+	}
+	if !q.HasLiteral(a, Literal{Attr: "x", Op: graph.GE, Val: graph.N(1)}) {
+		t.Error("HasLiteral wrong")
+	}
+	if got := q.Neighbors(a); len(got) != 2 {
+		t.Errorf("Neighbors(a) = %v", got)
+	}
+	if got := q.IncidentEdges(a); len(got) != 2 {
+		t.Errorf("IncidentEdges(a) = %v", got)
+	}
+	if q.MaxBound() != 2 {
+		t.Errorf("MaxBound = %d", q.MaxBound())
+	}
+	if q.Size() != 3+2+1 {
+		t.Errorf("Size = %d, want 6", q.Size())
+	}
+}
+
+func TestQueryJSONRoundtrip(t *testing.T) {
+	q := New()
+	u := q.AddNode("Cellphone",
+		Literal{Attr: "Price", Op: graph.GE, Val: graph.N(840)},
+		Literal{Attr: "Brand", Op: graph.EQ, Val: graph.S("Samsung")})
+	v := q.AddNode("Carrier")
+	q.AddEdge(v, u, 1)
+	q.Focus = u
+
+	var buf bytes.Buffer
+	if err := q.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	q2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if q.Key() != q2.Key() {
+		t.Errorf("roundtrip changed the query:\n%s\nvs\n%s", q.Key(), q2.Key())
+	}
+}
+
+func TestQueryJSONErrors(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"focus":0,"nodes":[],"edges":[]}`, // empty
+		`{"focus":0,"nodes":[{"label":"A","literals":[{"attr":"x","op":"!!","value":1}]}],"edges":[]}`,
+		`{"focus":0,"nodes":[{"label":"A","literals":[{"attr":"x","op":"=","value":[1]}]}],"edges":[]}`,
+		`{"focus":5,"nodes":[{"label":"A"}],"edges":[]}`, // bad focus
+	}
+	for _, s := range bad {
+		if _, err := ReadJSON(bytes.NewBufferString(s)); err == nil {
+			t.Errorf("ReadJSON(%q) should fail", s)
+		}
+	}
+}
