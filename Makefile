@@ -1,0 +1,36 @@
+# Developer entry points. `make ci` is exactly what the CI workflow
+# runs; the individual targets exist for quick local iteration.
+
+GO ?= go
+
+# Packages with shared mutable state (star-view cache, lazy graph
+# caches, chase sessions) that must stay clean under the race detector.
+RACE_PKGS = ./internal/graph ./internal/match ./internal/chase
+
+.PHONY: all build vet fmt-check test race lint ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Repo-specific static analysis (see internal/lint and README
+# "Static analysis & CI"). Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/wqe-lint ./...
+
+ci: build vet fmt-check test race lint

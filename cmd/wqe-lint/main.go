@@ -1,0 +1,161 @@
+// Command wqe-lint runs the repo-specific static-analysis suite of
+// internal/lint over the module: mapiter (deterministic map iteration),
+// lockcheck (annotated mutex discipline), panicfree (no panics in
+// library code), and floateq (no float ==/!= in ranking code).
+//
+// Usage:
+//
+//	wqe-lint [-root dir] [-rules list] [patterns...]
+//
+// Patterns select which packages findings are reported for: "./..."
+// (everything, the default), or directory paths like ./internal/chase.
+// The whole module is always loaded and type-checked regardless, since
+// lock annotations are collected module-wide.
+//
+// Output is one `file:line: rule: message` per finding; the exit status
+// is 1 when anything is reported, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wqe/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wqe-lint [-root dir] [-rules list] [patterns...]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fail(err)
+		}
+	}
+	// Findings carry absolute paths; the root must be absolute too so
+	// rel() can shorten them.
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+
+	mod, err := lint.Load(dir)
+	if err != nil {
+		fail(err)
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fail(err)
+	}
+
+	findings := lint.RunAll(mod, analyzers)
+	findings = filterByPatterns(mod, findings, flag.Args())
+
+	for _, f := range findings {
+		fmt.Println(rel(dir, f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "wqe-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wqe-lint:", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if spec == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// filterByPatterns keeps findings under the directories the patterns
+// name. "./..." and the empty pattern list select everything; a
+// trailing "/..." selects a subtree. Relative patterns resolve against
+// the module root, so `wqe-lint -root other/mod ./chase/...` means the
+// chase directory of that module, not of the working directory.
+func filterByPatterns(mod *lint.Module, findings []lint.Finding, patterns []string) []lint.Finding {
+	if len(patterns) == 0 {
+		return findings
+	}
+	var prefixes []string
+	for _, p := range patterns {
+		if p == "./..." || p == "..." {
+			return findings
+		}
+		p = filepath.Clean(strings.TrimSuffix(p, "/..."))
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(mod.Root, p)
+		}
+		prefixes = append(prefixes, p+string(filepath.Separator))
+	}
+	var out []lint.Finding
+	for _, f := range findings {
+		for _, pre := range prefixes {
+			if strings.HasPrefix(f.Pos.Filename, pre) || filepath.Dir(f.Pos.Filename)+string(filepath.Separator) == pre {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// rel renders a finding with the file path relative to the module root
+// (keeps CI logs readable).
+func rel(root string, f lint.Finding) string {
+	if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+		f.Pos.Filename = r
+	}
+	return f.String()
+}

@@ -68,6 +68,10 @@ func New(opts Options) *Harness {
 
 // GraphFor returns (building and caching) the dataset graph at the
 // harness scale.
+//
+// invariant: callers pass one of the datagen.Dataset* constants, for
+// which Generate is total; the panic below is unreachable and exists to
+// keep benchmark call sites free of error plumbing.
 func (h *Harness) GraphFor(dataset string, scale int) *graph.Graph {
 	key := fmt.Sprintf("%s/%d", dataset, scale)
 	if g, ok := h.graphs[key]; ok {

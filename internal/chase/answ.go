@@ -98,8 +98,11 @@ func sortScored(q []scoredOp) {
 		return 1
 	}
 	better := func(a, b scoredOp) bool {
-		if a.Pick != b.Pick {
-			return a.Pick > b.Pick
+		switch {
+		case a.Pick > b.Pick:
+			return true
+		case a.Pick < b.Pick:
+			return false
 		}
 		if pa, pb := phase(a), phase(b); pa != pb {
 			return pa < pb
@@ -132,14 +135,23 @@ type stateHeap []*state
 func (h stateHeap) Len() int { return len(h) }
 func (h stateHeap) Less(i, j int) bool {
 	a, b := h[i], h[j]
-	if pa, pb := a.prio(), b.prio(); pa != pb {
-		return pa > pb
+	switch pa, pb := a.prio(), b.prio(); {
+	case pa > pb:
+		return true
+	case pa < pb:
+		return false
 	}
-	if a.cl != b.cl {
-		return a.cl > b.cl
+	switch {
+	case a.cl > b.cl:
+		return true
+	case a.cl < b.cl:
+		return false
 	}
-	if a.clPlus != b.clPlus {
-		return a.clPlus > b.clPlus
+	switch {
+	case a.clPlus > b.clPlus:
+		return true
+	case a.clPlus < b.clPlus:
+		return false
 	}
 	return a.id > b.id // most recent first: depth-first on plateaus
 }
@@ -221,7 +233,10 @@ func (w *Why) TopK(k int) []Answer {
 		if s.cost+op.Op.Cost(w.G) > w.Cfg.Budget+1e-9 {
 			continue
 		}
-		q2 := op.Op.Apply(s.q)
+		q2, err := op.Op.Apply(s.q)
+		if err != nil {
+			continue // generator emitted an op that no longer fits s.q
+		}
 		key := q2.Key()
 		if visited[key] {
 			continue

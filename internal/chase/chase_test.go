@@ -108,7 +108,7 @@ func TestPickinessBoundsGain(t *testing.T) {
 	res := w.Matcher.Match(f.Q)
 	base := w.Closeness(res.Answer)
 	for _, s := range w.GenRelax(f.Q, res, map[string]bool{}, cfg.Budget) {
-		q2 := s.Op.Apply(f.Q)
+		q2 := mustApply(t, s.Op, f.Q)
 		res2 := w.Matcher.Match(q2)
 		gain := w.Closeness(res2.Answer) - base
 		if s.Pick < gain-1e-9 {
@@ -133,7 +133,7 @@ func TestPickinessBoundsGainSynthetic(t *testing.T) {
 			if i >= 10 {
 				break // checking the top of the queue suffices
 			}
-			res2 := w.Matcher.Match(s.Op.Apply(inst.Q))
+			res2 := w.Matcher.Match(mustApply(t, s.Op, inst.Q))
 			gain := w.Closeness(res2.Answer) - base
 			if s.Pick < gain-1e-9 {
 				t.Errorf("pickiness %f underestimates gain %f for %s", s.Pick, gain, s.Op)

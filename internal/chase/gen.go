@@ -218,7 +218,16 @@ func (w *Why) GenRelax(q *query.Query, res *match.Result, used map[string]bool, 
 				}
 			}
 		}
-		for ei, nearest := range blame.edgeFail {
+		// Iterate failed edges in index order: operator insertion order
+		// decides identOf-map accumulation and, downstream, tie-broken
+		// top-k output.
+		failedEdges := make([]int, 0, len(blame.edgeFail))
+		for ei := range blame.edgeFail {
+			failedEdges = append(failedEdges, ei)
+		}
+		sort.Ints(failedEdges)
+		for _, ei := range failedEdges {
+			nearest := blame.edgeFail[ei]
 			e := q.Edges[ei]
 			if !used[edgeTarget(e.From, e.To)] {
 				add(ops.Op{Kind: ops.RmE, U: e.From, U2: e.To, Bound: e.Bound}, ei, v)
@@ -262,10 +271,22 @@ func (w *Why) GenRelax(q *query.Query, res *match.Result, used map[string]bool, 
 		}
 	}
 
-	// RxL discretization: for each blamed numeric literal, sort the
+	// RxL discretization: for each blamed numeric literal (in pattern-node
+	// then attribute order, for deterministic generation), sort the
 	// failing values and generate one RxL per distinct value — relaxing
 	// up to that value admits every RC node at or before it.
-	for k, vals := range failVals {
+	blamedLits := make([]litKey, 0, len(failVals))
+	for k := range failVals {
+		blamedLits = append(blamedLits, k)
+	}
+	sort.Slice(blamedLits, func(i, j int) bool {
+		if blamedLits[i].u != blamedLits[j].u {
+			return blamedLits[i].u < blamedLits[j].u
+		}
+		return blamedLits[i].attr < blamedLits[j].attr
+	})
+	for _, k := range blamedLits {
+		vals := failVals[k]
 		li := -1
 		for _, op := range []graph.Op{graph.GE, graph.GT, graph.LE, graph.LT, graph.EQ} {
 			if i := q.FindLiteral(k.u, k.attr, op); i >= 0 {
@@ -419,8 +440,11 @@ func (w *Why) finishScored(acc map[opIdent]*accum) []scoredOp {
 		out = append(out, a.op)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Pick != out[j].Pick {
-			return out[i].Pick > out[j].Pick
+		switch {
+		case out[i].Pick > out[j].Pick:
+			return true
+		case out[i].Pick < out[j].Pick:
+			return false
 		}
 		return out[i].Cost < out[j].Cost
 	})
@@ -443,9 +467,11 @@ func sampleByCl(w *Why, nodes []graph.NodeID, n int) []graph.NodeID {
 	}
 	out := append([]graph.NodeID(nil), nodes...)
 	sort.SliceStable(out, func(i, j int) bool {
-		ci, cj := w.Eval.Cl(out[i]), w.Eval.Cl(out[j])
-		if ci != cj {
-			return ci > cj
+		switch ci, cj := w.Eval.Cl(out[i]), w.Eval.Cl(out[j]); {
+		case ci > cj:
+			return true
+		case ci < cj:
+			return false
 		}
 		return out[i] < out[j]
 	})

@@ -439,6 +439,14 @@ func (w *Why) genAddE(q *query.Query, rm, im []graph.NodeID,
 		k        int
 		feasible bool
 	}
+	sortedIDs := func(m map[int32]*labelInfo) []int32 {
+		ids := make([]int32, 0, len(m))
+		for lid := range m {
+			ids = append(ids, lid)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
 	labels := map[int32]*labelInfo{}
 	for i, vrm := range rm {
 		found := map[int32]int{}
@@ -452,12 +460,18 @@ func (w *Why) genAddE(q *query.Query, rm, im []graph.NodeID,
 			}
 		}
 		if i == 0 {
-			for lid, d := range found {
-				labels[lid] = &labelInfo{k: d, feasible: true}
+			foundIDs := make([]int32, 0, len(found))
+			for lid := range found {
+				foundIDs = append(foundIDs, lid)
+			}
+			sort.Slice(foundIDs, func(a, b int) bool { return foundIDs[a] < foundIDs[b] })
+			for _, lid := range foundIDs {
+				labels[lid] = &labelInfo{k: found[lid], feasible: true}
 			}
 			continue
 		}
-		for lid, info := range labels {
+		for _, lid := range sortedIDs(labels) {
+			info := labels[lid]
 			d, ok := found[lid]
 			if !ok {
 				info.feasible = false
@@ -468,20 +482,16 @@ func (w *Why) genAddE(q *query.Query, rm, im []graph.NodeID,
 			}
 		}
 	}
-	lids := make([]int32, 0, len(labels))
-	for lid, info := range labels {
-		if info.feasible {
-			lids = append(lids, lid)
-		}
-	}
-	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
 	const maxNewLabels = 8
 	generated := 0
-	for _, lid := range lids {
+	for _, lid := range sortedIDs(labels) {
 		if generated >= maxNewLabels {
 			break
 		}
 		info := labels[lid]
+		if !info.feasible {
+			continue
+		}
 		name := w.G.Labels.Name(lid)
 		if name == "" {
 			continue
@@ -524,8 +534,11 @@ func (w *Why) finishScoredRefine(acc map[opIdent]*accum) []scoredOp {
 		out = append(out, a.op)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Pick != out[j].Pick {
-			return out[i].Pick > out[j].Pick
+		switch {
+		case out[i].Pick > out[j].Pick:
+			return true
+		case out[i].Pick < out[j].Pick:
+			return false
 		}
 		return out[i].Cost < out[j].Cost
 	})

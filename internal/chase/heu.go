@@ -89,7 +89,10 @@ func (w *Why) beamSearch(beam int, random bool) Answer {
 				if s.cost+op.Op.Cost(w.G) > w.Cfg.Budget+1e-9 {
 					continue
 				}
-				q2 := op.Op.Apply(s.q)
+				q2, err := op.Op.Apply(s.q)
+				if err != nil {
+					continue // generator emitted an op that no longer fits s.q
+				}
 				key := q2.Key()
 				if visited[key] {
 					continue

@@ -84,7 +84,7 @@ func TestChaseStepSemantics(t *testing.T) {
 	prev := w.Matcher.Match(f.Q)
 	q := f.Q
 	for _, d := range a.Diff {
-		q2 := d.Op.Apply(q)
+		q2 := mustApply(t, d.Op, q)
 		next := w.Matcher.Match(q2)
 		if d.Op.Kind.IsRelax() {
 			for _, v := range prev.Answer {
@@ -122,7 +122,7 @@ func TestRelaxMonotone(t *testing.T) {
 			if i >= 8 {
 				break
 			}
-			res2 := w.Matcher.Match(s.Op.Apply(inst.Q))
+			res2 := w.Matcher.Match(mustApply(t, s.Op, inst.Q))
 			for _, v := range res.Answer {
 				if !res2.Has(v) {
 					t.Errorf("relaxation %s dropped match %d", s.Op, v)
@@ -133,7 +133,7 @@ func TestRelaxMonotone(t *testing.T) {
 			if i >= 8 {
 				break
 			}
-			res2 := w.Matcher.Match(s.Op.Apply(inst.Q))
+			res2 := w.Matcher.Match(mustApply(t, s.Op, inst.Q))
 			for _, v := range res2.Answer {
 				if !res.Has(v) {
 					t.Errorf("refinement %s added match %d", s.Op, v)

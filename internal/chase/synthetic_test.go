@@ -9,6 +9,7 @@ import (
 	"wqe/internal/distindex"
 	"wqe/internal/graph"
 	"wqe/internal/match"
+	"wqe/internal/ops"
 	"wqe/internal/query"
 )
 
@@ -97,4 +98,14 @@ func TestSyntheticEndToEnd(t *testing.T) {
 			}
 		})
 	}
+}
+
+// mustApply applies o to q, failing the test on a structural error.
+func mustApply(t *testing.T, o ops.Op, q *query.Query) *query.Query {
+	t.Helper()
+	q2, err := o.Apply(q)
+	if err != nil {
+		t.Fatalf("Apply(%s): %v", o, err)
+	}
+	return q2
 }

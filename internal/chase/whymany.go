@@ -45,7 +45,10 @@ func (w *Why) ApxWhyM() Answer {
 	}
 	var evaluated []seed
 	for _, s := range seeds {
-		q2 := s.Op.Apply(w.Q)
+		q2, err := s.Op.Apply(w.Q)
+		if err != nil {
+			continue // seed op no longer fits Q
+		}
 		ans2, res2 := w.evaluate(q2, ops.Sequence{s.Op})
 		sd := seed{op: s.Op, cost: s.Op.Cost(w.G), single: ans2,
 			removedIM: map[graph.NodeID]bool{}, removedRM: map[graph.NodeID]bool{}}
@@ -70,8 +73,16 @@ func (w *Why) ApxWhyM() Answer {
 
 	nf := float64(len(w.FocusCands))
 	weight := func(im, rm map[graph.NodeID]bool) float64 {
-		var loss float64
+		// Sum closeness in sorted node order: float addition rounds
+		// differently under different orders, and the greedy selection
+		// below compares these sums.
+		ids := make([]graph.NodeID, 0, len(rm))
 		for v := range rm {
+			ids = append(ids, v)
+		}
+		sortNodes(ids)
+		var loss float64
+		for _, v := range ids {
 			loss += w.Eval.Cl(v)
 		}
 		return (w.Cfg.Lambda*float64(len(im)) - loss) / nf
@@ -123,9 +134,11 @@ func (w *Why) ApxWhyM() Answer {
 		o1 = append(o1, bestIdx)
 		cost1 += s.cost
 		markTargets(usedTargets, s.op)
+		//lint:ignore mapiter set union: each iteration only inserts true, order-insensitive
 		for v := range s.removedIM {
 			coveredIM[v] = true
 		}
+		//lint:ignore mapiter set union: each iteration only inserts true, order-insensitive
 		for v := range s.removedRM {
 			coveredRM[v] = true
 		}
@@ -199,9 +212,11 @@ func targetsOf(o ops.Op) []string {
 
 func unionSet(a, b map[graph.NodeID]bool) map[graph.NodeID]bool {
 	out := make(map[graph.NodeID]bool, len(a)+len(b))
+	//lint:ignore mapiter set union: each iteration only inserts true, order-insensitive
 	for v := range a {
 		out[v] = true
 	}
+	//lint:ignore mapiter set union: each iteration only inserts true, order-insensitive
 	for v := range b {
 		out[v] = true
 	}

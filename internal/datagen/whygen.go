@@ -166,7 +166,11 @@ func disturb(g *graph.Graph, qstar *query.Query, k int, spec WhySpec, rng *rand.
 		if !o.Applicable(q, params) {
 			continue
 		}
-		q = o.Apply(q)
+		q2, err := o.Apply(q)
+		if err != nil {
+			continue
+		}
+		q = q2
 		seq = append(seq, o)
 	}
 	if len(seq) == 0 {

@@ -90,8 +90,12 @@ func TupleCloseness(g *graph.Graph, v graph.NodeID, t TuplePattern) float64 {
 	if len(t) == 0 {
 		return 0
 	}
+	// Sum in sorted attribute order: float addition rounds differently
+	// under different orders, and closeness values are compared exactly
+	// against θ and each other downstream.
 	var total float64
-	for attr, cell := range t {
+	for _, attr := range t.SortedAttrs() {
+		cell := t[attr]
 		val, ok := g.Attr(v, attr)
 		switch cell.Kind {
 		case Wildcard:

@@ -84,7 +84,8 @@ type binding struct {
 func (e *Exemplar) bindings() (map[string]binding, error) {
 	b := make(map[string]binding)
 	for ti, t := range e.Tuples {
-		for attr, cell := range t {
+		for _, attr := range t.SortedAttrs() {
+			cell := t[attr]
 			if cell.Kind != Var {
 				continue
 			}
@@ -184,14 +185,23 @@ func FromEntities(g *graph.Graph, entities []graph.NodeID, attrs []string) *Exem
 	return e
 }
 
-func (t TuplePattern) key() string {
+// SortedAttrs returns the pattern's attribute names in sorted order,
+// the canonical iteration order everywhere tuple cells are visited
+// (closeness sums, variable binding, serialization): raw map order
+// would leak Go's iteration randomness into float rounding and error
+// messages.
+func (t TuplePattern) SortedAttrs() []string {
 	attrs := make([]string, 0, len(t))
 	for a := range t {
 		attrs = append(attrs, a)
 	}
 	sort.Strings(attrs)
+	return attrs
+}
+
+func (t TuplePattern) key() string {
 	var b strings.Builder
-	for _, a := range attrs {
+	for _, a := range t.SortedAttrs() {
 		cell := t[a]
 		fmt.Fprintf(&b, "%s:%d:%s:%s|", a, cell.Kind, cell.Val, cell.Var)
 	}

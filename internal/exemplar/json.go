@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"wqe/internal/graph"
 )
@@ -43,7 +44,8 @@ func (e *Exemplar) WriteJSON(w io.Writer) error {
 	je := jsonExemplar{}
 	for _, t := range e.Tuples {
 		jt := map[string]jsonCell{}
-		for attr, cell := range t {
+		for _, attr := range t.SortedAttrs() {
+			cell := t[attr]
 			switch cell.Kind {
 			case Const:
 				raw, err := marshalValue(cell.Val)
@@ -86,7 +88,14 @@ func ReadJSON(r io.Reader) (*Exemplar, error) {
 	e := &Exemplar{}
 	for ti, jt := range je.Tuples {
 		t := TuplePattern{}
-		for attr, jc := range jt {
+		// Sorted so a malformed cell always yields the same error.
+		attrs := make([]string, 0, len(jt))
+		for attr := range jt {
+			attrs = append(attrs, attr)
+		}
+		sort.Strings(attrs)
+		for _, attr := range attrs {
+			jc := jt[attr]
 			switch {
 			case jc.Wildcard:
 				t[attr] = W()

@@ -46,6 +46,7 @@ func NewEval(g *graph.Graph, e *Exemplar, opts Options) (*Eval, error) {
 	set, ok := ev.repOver(nil)
 	ev.rep = map[graph.NodeID]float64{}
 	if ok {
+		//lint:ignore mapiter map-to-map copy keyed per node, order-insensitive
 		for v := range set {
 			ev.rep[v] = ev.match[v].cl
 		}
@@ -144,6 +145,7 @@ func (ev *Eval) SatisfiedBy(nodes []graph.NodeID) bool {
 // maximality, DESIGN.md §6).
 func (ev *Eval) repOver(restrict map[graph.NodeID]bool) (map[graph.NodeID]bool, bool) {
 	active := make(map[graph.NodeID]bool)
+	//lint:ignore mapiter set build filtered per node, order-insensitive
 	for v := range ev.match {
 		if restrict == nil || restrict[v] {
 			active[v] = true
@@ -158,6 +160,7 @@ func (ev *Eval) repOver(restrict map[graph.NodeID]bool) (map[graph.NodeID]bool, 
 	}
 	groupNodes := func(ti int) []graph.NodeID {
 		var out []graph.NodeID
+		//lint:ignore mapiter consumers delete per-node on value-only predicates, order-insensitive
 		for v := range active {
 			if inGroup(v, ti) {
 				out = append(out, v)
@@ -198,6 +201,7 @@ func (ev *Eval) repOver(restrict map[graph.NodeID]bool) (map[graph.NodeID]bool, 
 	// V_C ⊨ T: every tuple pattern must keep at least one match.
 	for ti := range ev.E.Tuples {
 		found := false
+		//lint:ignore mapiter existence check, order-insensitive
 		for v := range active {
 			if inGroup(v, ti) {
 				found = true
@@ -225,6 +229,9 @@ func (ev *Eval) enforceEquality(active map[graph.NodeID]bool, lb, rb binding) bo
 	var members []member
 	count := map[string]int{}
 	valueOf := map[string]graph.Value{}
+	// Per-member decisions below depend only on values; the winning value
+	// class breaks ties over sorted keys.
+	//lint:ignore mapiter order-insensitive, see above
 	for v := range active {
 		l := ev.match[v].mask&(1<<uint(lb.tuple)) != 0
 		r := ev.match[v].mask&(1<<uint(rb.tuple)) != 0
@@ -323,6 +330,9 @@ func (ev *Eval) enforceInequality(active map[graph.NodeID]bool, op graph.Op, lb,
 	}
 	collect := func(b binding) []member {
 		var out []member
+		// Tied extreme witnesses carry equal values, so pruning decisions
+		// depend only on values, not collection order.
+		//lint:ignore mapiter order-insensitive, see above
 		for v := range active {
 			if ev.match[v].mask&(1<<uint(b.tuple)) == 0 {
 				continue

@@ -40,8 +40,10 @@ func (g *Graph) ActiveDomain(name string) *Domain {
 	if !ok {
 		return &Domain{Attr: name}
 	}
+	g.lazyMu.Lock()
+	defer g.lazyMu.Unlock()
 	if g.adoms == nil {
-		g.buildDomains()
+		g.buildDomainsLocked()
 	}
 	if d, ok := g.adoms[aid]; ok {
 		return d
@@ -50,19 +52,21 @@ func (g *Graph) ActiveDomain(name string) *Domain {
 }
 
 // WarmCaches eagerly computes the lazily-built diameter and
-// active-domain caches. Call it once after construction when the graph
-// will be read from multiple goroutines: the lazy builders themselves
-// are not synchronized.
+// active-domain caches. The lazy builders are serialized by lazyMu, so
+// this is purely a performance warm-up: call it once after construction
+// so concurrent readers never stall behind a full domain scan.
 func (g *Graph) WarmCaches() {
 	g.Diameter()
+	g.lazyMu.Lock()
+	defer g.lazyMu.Unlock()
 	if g.adoms == nil {
-		g.buildDomains()
+		g.buildDomainsLocked()
 	}
 }
 
-// buildDomains scans every node tuple once and materializes all active
-// domains.
-func (g *Graph) buildDomains() {
+// buildDomainsLocked scans every node tuple once and materializes all
+// active domains. The caller must hold g.lazyMu.
+func (g *Graph) buildDomainsLocked() {
 	type seenKey struct {
 		attr int32
 		val  Value

@@ -142,6 +142,8 @@ func (g *Graph) eccentricity(v NodeID) (int, NodeID) {
 // mutates, and is at least 1 on nonempty graphs so cost normalization
 // never divides by zero.
 func (g *Graph) Diameter() int {
+	g.lazyMu.Lock()
+	defer g.lazyMu.Unlock()
 	if g.diam >= 0 {
 		return g.diam
 	}

@@ -27,3 +27,22 @@ func TestConcurrentReads(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestConcurrentLazyBuilds hits a cold graph from many goroutines
+// without WarmCaches: the lazy diameter/domain builders would race each
+// other unless lazyMu serializes them.
+func TestConcurrentLazyBuilds(t *testing.T) {
+	g := randomGraph(150, 450, 11)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g.ActiveDomain("x")
+				_ = g.Diameter()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -27,8 +28,9 @@ type AttrValue struct {
 
 // Graph is a directed, attributed graph G = (V, E, L, f_A). Nodes and
 // edges carry labels; each node carries a tuple of attribute-value
-// pairs. Graphs are built single-threaded and are safe for concurrent
-// reads afterwards.
+// pairs. Graphs are built single-threaded; afterwards all read methods
+// are safe for concurrent use — the lazily computed diameter and
+// active-domain caches are serialized by lazyMu.
 type Graph struct {
 	// Labels interns node and edge labels; Attrs interns attribute names.
 	Labels *Interner
@@ -41,8 +43,9 @@ type Graph struct {
 	edges   int
 
 	// lazily computed caches, invalidated on mutation
-	diam  int
-	adoms map[int32]*Domain
+	lazyMu sync.Mutex
+	diam   int               // guarded by lazyMu
+	adoms  map[int32]*Domain // guarded by lazyMu
 
 	uid uint64
 }
@@ -120,6 +123,8 @@ func (g *Graph) AddEdge(from, to NodeID, label string) {
 }
 
 func (g *Graph) invalidate() {
+	g.lazyMu.Lock()
+	defer g.lazyMu.Unlock()
 	g.diam = -1
 	g.adoms = nil
 }

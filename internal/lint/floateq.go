@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// rankingPkgs hold the closeness and pickiness arithmetic whose
+// comparisons decide ranked output.
+var rankingPkgs = map[string]bool{
+	"chase":    true,
+	"exemplar": true,
+}
+
+// FloatEq returns the floateq analyzer: closeness/ranking code must not
+// compare floats with == or !=. Scores are sums of decayed, normalized
+// terms; exact equality there is either accidentally true (and then the
+// tie-break hides an order dependency) or numerically fragile. Write
+// explicit < / > arms instead.
+func FloatEq() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "no ==/!= on floats in closeness/ranking code",
+		Applies: func(pkg *Package) bool {
+			return rankingPkgs[pkg.Name()]
+		},
+		Run: runFloatEq,
+	}
+}
+
+func runFloatEq(mod *Module, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pkg.Info.TypeOf(be.X)) && !isFloat(pkg.Info.TypeOf(be.Y)) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(be.OpPos),
+				Rule: "floateq",
+				Msg: "floating-point " + be.Op.String() + " in ranking code; " +
+					"use explicit </> comparison arms so ties are decided deliberately",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

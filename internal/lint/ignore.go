@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ignoreSet records, per file and line, the rules a `//lint:ignore`
+// directive waives. A directive written on its own line suppresses
+// findings on the next line; written as a trailing comment it
+// suppresses findings on its own line.
+type ignoreSet struct {
+	// byLine maps filename:line to the set of ignored rule names. The
+	// special rule "*" ignores everything on that line.
+	byLine map[string]map[string]bool
+}
+
+// ignorePrefix is the directive marker. Form:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// The reason is mandatory in spirit but not enforced mechanically.
+const ignorePrefix = "lint:ignore"
+
+func ignoresOf(pkg *Package) *ignoreSet {
+	ig := &ignoreSet{byLine: map[string]map[string]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				// A standalone directive precedes the offending line; a
+				// trailing directive shares it. Register both so the
+				// author may use either placement.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					ig.add(pos.Filename, line, strings.Split(fields[0], ","))
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig *ignoreSet) add(file string, line int, rules []string) {
+	key := lineKey(file, line)
+	set := ig.byLine[key]
+	if set == nil {
+		set = map[string]bool{}
+		ig.byLine[key] = set
+	}
+	for _, r := range rules {
+		if r = strings.TrimSpace(r); r != "" {
+			set[r] = true
+		}
+	}
+}
+
+func (ig *ignoreSet) suppressed(f Finding) bool {
+	set := ig.byLine[lineKey(f.Pos.Filename, f.Pos.Line)]
+	return set != nil && (set[f.Rule] || set["*"])
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}

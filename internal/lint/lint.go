@@ -1,0 +1,97 @@
+// Package lint implements wqe's repo-specific static-analysis suite
+// using only the standard library's go/parser, go/ast, and go/types.
+//
+// Four analyzers enforce the invariants the paper's algorithms depend
+// on for reproducible output:
+//
+//   - mapiter: no raw `for range` over maps in canonical-output
+//     packages (query, ops, chase, exemplar) — Go randomizes map
+//     iteration order, which silently breaks tie-broken top-k ranking;
+//     collect keys and sort them first.
+//   - lockcheck: struct fields annotated `// guarded by <mu>` must only
+//     be accessed with that mutex held in the same function (or from a
+//     function whose name ends in "Locked").
+//   - panicfree: library code must not panic; only functions whose doc
+//     comment carries an `invariant:` marker may, to assert genuinely
+//     unreachable states.
+//   - floateq: no ==/!= on floating-point operands in closeness/ranking
+//     code (chase, exemplar) — compare with explicit </> arms instead.
+//
+// Any finding can be suppressed with a trailing or preceding
+// `//lint:ignore <rule> <reason>` comment.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the canonical file:line: rule: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Analyzer is one lint pass. Run receives a fully type-checked package
+// and the whole module (for cross-package facts such as guarded-field
+// declarations) and reports findings; suppression via lint:ignore is
+// applied by the driver.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies reports whether the analyzer runs on the package at all.
+	Applies func(pkg *Package) bool
+	Run     func(mod *Module, pkg *Package) []Finding
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapIter(),
+		LockCheck(),
+		PanicFree(),
+		FloatEq(),
+	}
+}
+
+// RunAll loads nothing itself: it applies every analyzer to every
+// package of an already-loaded module, filters suppressed findings, and
+// returns the remainder sorted by position.
+func RunAll(mod *Module, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range mod.Pkgs {
+		ig := ignoresOf(pkg)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg) {
+				continue
+			}
+			for _, f := range a.Run(mod, pkg) {
+				if ig.suppressed(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return out
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// guardedRe matches the field annotation the analyzer enforces:
+//
+//	entries map[string]*entry // guarded by mu
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// LockCheck returns the lockcheck analyzer: any access to a struct
+// field annotated `// guarded by <mu>` must appear after a
+// `<base>.<mu>.Lock()` (or RLock) call in the same function, unless the
+// function's name ends in "Locked" (the caller-holds-the-lock
+// convention) or the access carries a lint:ignore directive.
+//
+// The check is intraprocedural and lexical: it does not track Unlock or
+// aliasing. It exists to catch the common mistake — touching shared
+// cache state in a new method without taking the mutex — not to prove
+// the locking protocol correct (that is what `go test -race` is for).
+func LockCheck() *Analyzer {
+	facts := make(map[*Module]map[types.Object]string)
+	return &Analyzer{
+		Name: "lockcheck",
+		Doc:  "accesses to `guarded by` fields must hold the named mutex",
+		Run: func(mod *Module, pkg *Package) []Finding {
+			guarded, ok := facts[mod]
+			if !ok {
+				guarded = collectGuarded(mod)
+				facts[mod] = guarded
+			}
+			return runLockCheck(pkg, guarded)
+		},
+	}
+}
+
+// collectGuarded scans every package for annotated struct fields and
+// maps each field object to its guarding mutex's field name.
+func collectGuarded(mod *Module) map[types.Object]string {
+	guarded := map[types.Object]string{}
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					mu := guardAnnotation(fld)
+					if mu == "" {
+						continue
+					}
+					for _, name := range fld.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							guarded[obj] = mu
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return guarded
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment, or "".
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func runLockCheck(pkg *Package, guarded map[types.Object]string) []Finding {
+	if len(guarded) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			out = append(out, checkFuncLocks(pkg, fd, guarded)...)
+		}
+	}
+	return out
+}
+
+// checkFuncLocks reports guarded-field accesses in one function that
+// are not lexically preceded by a matching Lock/RLock call.
+func checkFuncLocks(pkg *Package, fd *ast.FuncDecl, guarded map[types.Object]string) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pkg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, ok := guarded[selection.Obj()]
+		if !ok {
+			return true
+		}
+		base := exprString(pkg.Fset, sel.X)
+		if lockHeldBefore(pkg, fd, base, mu, sel.Pos()) {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(sel.Pos()),
+			Rule: "lockcheck",
+			Msg: fmt.Sprintf("%s.%s is guarded by %s.%s, which is not held here "+
+				"(call %s.%s.Lock() first, suffix the function name with Locked, "+
+				"or //lint:ignore lockcheck <reason>)",
+				base, sel.Sel.Name, base, mu, base, mu),
+		})
+		return true
+	})
+	return out
+}
+
+// lockHeldBefore reports whether `<base>.<mu>.Lock()` or RLock appears
+// in fd's body lexically before pos.
+func lockHeldBefore(pkg *Package, fd *ast.FuncDecl, base, mu string, pos token.Pos) bool {
+	held := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != mu {
+			return true
+		}
+		if exprString(pkg.Fset, muSel.X) == base {
+			held = true
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// exprString renders an expression as written, for base-path matching.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

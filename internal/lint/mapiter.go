@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// canonicalOutputPkgs are the packages whose computation feeds
+// canonical, user-visible output (ranked operator lists, rewrite keys,
+// JSON renderings). Raw map iteration there makes top-k tie-breaking
+// depend on Go's randomized map order.
+var canonicalOutputPkgs = map[string]bool{
+	"query":    true,
+	"ops":      true,
+	"chase":    true,
+	"exemplar": true,
+}
+
+// MapIter returns the mapiter analyzer: it flags `for range` over a map
+// in canonical-output packages unless the loop merely collects keys or
+// values into a slice (the collect-then-sort idiom), whose order the
+// author is then forced to fix explicitly.
+func MapIter() *Analyzer {
+	return &Analyzer{
+		Name: "mapiter",
+		Doc:  "flag nondeterministic map iteration in canonical-output packages",
+		Applies: func(pkg *Package) bool {
+			return canonicalOutputPkgs[pkg.Name()]
+		},
+		Run: runMapIter,
+	}
+}
+
+func runMapIter(mod *Module, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectOnlyBody(pkg, rs) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(rs.Pos()),
+				Rule: "mapiter",
+				Msg: "range over map has nondeterministic order; collect keys " +
+					"and sort them first (or //lint:ignore mapiter <why order cannot matter>)",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// collectOnlyBody reports whether every statement of a range-over-map
+// body only gathers the iteration variables into slices via append —
+// the first half of the collect-then-sort idiom, which is safe because
+// the subsequent sort re-establishes a canonical order.
+func collectOnlyBody(pkg *Package, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		if obj := pkg.Info.Uses[fn]; obj != nil && obj != types.Universe.Lookup("append") {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicFree returns the panicfree analyzer: library packages (anything
+// that is not a main package) must not call panic. A function whose doc
+// comment contains an `invariant:` marker is exempt — that is the
+// documented idiom for asserting states the type system cannot rule out
+// but the algorithm guarantees unreachable.
+func PanicFree() *Analyzer {
+	return &Analyzer{
+		Name: "panicfree",
+		Doc:  "no panic() in library code outside `invariant:`-documented functions",
+		Applies: func(pkg *Package) bool {
+			return pkg.Name() != "main"
+		},
+		Run: runPanicFree,
+	}
+}
+
+func runPanicFree(mod *Module, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "invariant:") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if pkg.Info.Uses[id] != types.Universe.Lookup("panic") {
+					return true // a shadowing local, not the builtin
+				}
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Rule: "panicfree",
+					Msg: "panic in library code; return an error instead, or document " +
+						"the enclosing function with an `invariant:` note if this state " +
+						"is provably unreachable",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}

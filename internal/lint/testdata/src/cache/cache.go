@@ -1,0 +1,53 @@
+// Package cache is a lint fixture for lockcheck: fields annotated
+// "guarded by <mu>" must only be touched with that mutex held.
+package cache
+
+import "sync"
+
+// Counter has one guarded field.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Inc takes the lock before touching n: not flagged.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Racy reads n without the lock: flagged.
+func (c *Counter) Racy() int {
+	return c.n // want lockcheck
+}
+
+// addLocked relies on the caller holding mu; the Locked suffix exempts
+// it from the intraprocedural check.
+func (c *Counter) addLocked(d int) {
+	c.n += d
+}
+
+// Snapshot documents why an unlocked read is tolerated here.
+func (c *Counter) Snapshot() int {
+	//lint:ignore lockcheck fixture for the suppression path
+	return c.n
+}
+
+// Pair has two names declared in one guarded field.
+type Pair struct {
+	mu   sync.Mutex
+	a, b int64 // guarded by mu
+}
+
+// Sum locks first: not flagged.
+func (p *Pair) Sum() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.a + p.b
+}
+
+// Leak touches the second declared name without the lock: flagged.
+func (p *Pair) Leak() int64 {
+	return p.b // want lockcheck
+}

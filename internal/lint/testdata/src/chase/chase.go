@@ -1,0 +1,33 @@
+// Package chase is a lint fixture: its name puts it in floateq's scope
+// (closeness and ranking code) as well as mapiter's.
+package chase
+
+// Score compares closeness values with exact equality: flagged.
+func Score(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// Distinct is the != form: flagged.
+func Distinct(a, b float64) bool {
+	if a != b { // want floateq
+		return true
+	}
+	return false
+}
+
+// Ordered comparisons are fine.
+func Ordered(a, b float64) bool { return a < b }
+
+// Ints may use exact equality.
+func Ints(a, b int) bool { return a == b }
+
+// Tolerated carries a justification for an exact sentinel compare.
+func Tolerated(a float64) bool {
+	//lint:ignore floateq comparing against an exact sentinel value
+	return a == -1
+}
+
+// Mixed flags when only one operand is a float.
+func Mixed(a float64) bool {
+	return a == 0 // want floateq
+}

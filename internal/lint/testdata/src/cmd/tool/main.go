@@ -1,0 +1,7 @@
+// Command tool is a lint fixture: package main is outside panicfree's
+// scope, so a top-level panic here is allowed.
+package main
+
+func main() {
+	panic("command binaries may panic")
+}

@@ -1,0 +1,33 @@
+// Package lib is a lint fixture for panicfree: ordinary library code
+// (any non-main, non-test package) must not panic.
+package lib
+
+import "errors"
+
+// Fail panics from library code: flagged.
+func Fail() {
+	panic("boom") // want panicfree
+}
+
+// MustIndex documents its precondition, exempting the panic.
+// invariant: callers bound i by len(xs); the panic is unreachable.
+func MustIndex(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		panic("index out of range")
+	}
+	return xs[i]
+}
+
+// Quiet returns an error instead of panicking: not flagged.
+func Quiet(ok bool) error {
+	if !ok {
+		return errors.New("not ok")
+	}
+	return nil
+}
+
+// Suppressed uses the inline escape hatch.
+func Suppressed() {
+	//lint:ignore panicfree fixture for the suppression path
+	panic("boom")
+}

@@ -7,13 +7,16 @@ import "sync"
 // time factor, and when the cache is full the least-hit entry is
 // evicted.
 type Cache struct {
-	mu      sync.Mutex
-	cap     int
-	decay   float64
-	tick    int64
-	entries map[string]*cacheEntry
+	// mu guards every mutable field below; cap and decay are immutable
+	// after construction.
+	mu    sync.Mutex
+	cap   int
+	decay float64
 
-	hits, misses int64
+	tick    int64                  // guarded by mu
+	entries map[string]*cacheEntry // guarded by mu
+
+	hits, misses int64 // guarded by mu
 }
 
 type cacheEntry struct {
@@ -47,12 +50,13 @@ func (c *Cache) Get(key string) *StarTable {
 		return nil
 	}
 	c.hits++
-	c.bump(e)
+	c.bumpLocked(e)
 	return e.table
 }
 
-// bump applies the time decay then counts one hit.
-func (c *Cache) bump(e *cacheEntry) {
+// bumpLocked applies the time decay then counts one hit. The caller
+// must hold c.mu.
+func (c *Cache) bumpLocked(e *cacheEntry) {
 	age := c.tick - e.lastTick
 	for i := int64(0); i < age && e.hits > 1e-6; i++ {
 		e.hits *= c.decay
@@ -68,7 +72,7 @@ func (c *Cache) Put(key string, t *StarTable) {
 	c.tick++
 	if e, ok := c.entries[key]; ok {
 		e.table = t
-		c.bump(e)
+		c.bumpLocked(e)
 		return
 	}
 	if len(c.entries) >= c.cap {

@@ -278,9 +278,10 @@ func (o Op) Applicable(q *query.Query, p Params) bool {
 	return false
 }
 
-// Apply returns Q ⊕ {o} as a fresh query. The caller must have checked
-// Applicable; Apply panics on structurally impossible operations to
-// surface chase bugs early.
+// Apply returns Q ⊕ {o} as a fresh query, or an error when the
+// operator does not structurally fit q (its literal or edge is absent).
+// Callers that checked Applicable first never see the error, but the
+// chase propagates it rather than trusting that discipline blindly.
 //
 // RmE may leave a non-focus pattern node isolated. The node stays in
 // the query (so node indices remain stable across operator reordering,
@@ -288,53 +289,53 @@ func (o Op) Applicable(q *query.Query, p Params) bool {
 // nodes do not constrain matches (query.IsolatedIgnored): the
 // NP-hardness proof of Theorem 3.2 relies on edge removal detaching the
 // constraint the removed edge's endpoint posed.
-func (o Op) Apply(q *query.Query) *query.Query {
+func (o Op) Apply(q *query.Query) (*query.Query, error) {
 	c := q.Clone()
 	switch o.Kind {
 	case Empty:
-		return c
+		return c, nil
 	case RmL:
 		lits := c.Nodes[o.U].Literals
 		for i, l := range lits {
 			if l.Equal(o.Lit) {
 				c.Nodes[o.U].Literals = append(lits[:i:i], lits[i+1:]...)
-				return c
+				return c, nil
 			}
 		}
-		panic(fmt.Sprintf("ops: RmL literal not found: %s", o))
+		return nil, fmt.Errorf("ops: RmL literal not found: %s", o)
 	case AddL:
 		c.Nodes[o.U].Literals = append(c.Nodes[o.U].Literals, o.Lit)
-		return c
+		return c, nil
 	case RxL, RfL:
 		lits := c.Nodes[o.U].Literals
 		for i, l := range lits {
 			if l.Equal(o.Lit) {
 				lits[i] = o.NewLit
-				return c
+				return c, nil
 			}
 		}
-		panic(fmt.Sprintf("ops: %s literal not found", o.Kind))
+		return nil, fmt.Errorf("ops: %s literal not found: %s", o.Kind, o)
 	case RmE:
 		i := c.FindEdge(o.U, o.U2)
 		if i < 0 {
-			panic(fmt.Sprintf("ops: RmE edge not found: %s", o))
+			return nil, fmt.Errorf("ops: RmE edge not found: %s", o)
 		}
 		c.Edges = append(c.Edges[:i:i], c.Edges[i+1:]...)
-		return c
+		return c, nil
 	case AddE:
 		to := o.U2
 		if o.NewNode != nil {
 			to = c.AddNode(o.NewNode.Label)
 		}
 		c.AddEdge(o.U, to, o.Bound)
-		return c
+		return c, nil
 	case RxE, RfE:
 		i := c.FindEdge(o.U, o.U2)
 		if i < 0 {
-			panic(fmt.Sprintf("ops: %s edge not found", o.Kind))
+			return nil, fmt.Errorf("ops: %s edge not found: %s", o.Kind, o)
 		}
 		c.Edges[i].Bound = o.NewBound
-		return c
+		return c, nil
 	}
-	panic("ops: unknown operator kind")
+	return nil, fmt.Errorf("ops: unknown operator kind %d", o.Kind)
 }

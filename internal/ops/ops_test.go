@@ -193,7 +193,7 @@ func TestApplyLiteralOps(t *testing.T) {
 	_, q := fixture()
 	priceLit := lit("Price", graph.GE, 840)
 
-	q2 := Op{Kind: RmL, U: 0, Lit: priceLit}.Apply(q)
+	q2 := mustApply(t, Op{Kind: RmL, U: 0, Lit: priceLit}, q)
 	if q2.HasLiteral(0, priceLit) {
 		t.Error("RmL did not remove the literal")
 	}
@@ -201,12 +201,12 @@ func TestApplyLiteralOps(t *testing.T) {
 		t.Error("Apply mutated the original query")
 	}
 
-	q3 := Op{Kind: RxL, U: 0, Lit: priceLit, NewLit: lit("Price", graph.GE, 790)}.Apply(q)
+	q3 := mustApply(t, Op{Kind: RxL, U: 0, Lit: priceLit, NewLit: lit("Price", graph.GE, 790)}, q)
 	if !q3.HasLiteral(0, lit("Price", graph.GE, 790)) || q3.HasLiteral(0, priceLit) {
 		t.Error("RxL did not replace the literal")
 	}
 
-	q4 := Op{Kind: AddL, U: 1, Lit: lit("Discount", graph.EQ, 25)}.Apply(q)
+	q4 := mustApply(t, Op{Kind: AddL, U: 1, Lit: lit("Discount", graph.EQ, 25)}, q)
 	if !q4.HasLiteral(1, lit("Discount", graph.EQ, 25)) {
 		t.Error("AddL did not add the literal")
 	}
@@ -217,7 +217,7 @@ func TestApplyEdgeOps(t *testing.T) {
 
 	// RmE keeps the now-isolated sensor node (indices stay stable for
 	// operator reordering) but the node no longer constrains matching.
-	q2 := Op{Kind: RmE, U: 0, U2: 2, Bound: 2}.Apply(q)
+	q2 := mustApply(t, Op{Kind: RmE, U: 0, U2: 2, Bound: 2}, q)
 	if len(q2.Nodes) != 3 || len(q2.Edges) != 1 {
 		t.Fatalf("RmE should keep nodes and drop one edge: %s", q2)
 	}
@@ -228,12 +228,12 @@ func TestApplyEdgeOps(t *testing.T) {
 		t.Error("focus is never ignored")
 	}
 
-	q3 := Op{Kind: RxE, U: 0, U2: 2, Bound: 2, NewBound: 3}.Apply(q)
+	q3 := mustApply(t, Op{Kind: RxE, U: 0, U2: 2, Bound: 2, NewBound: 3}, q)
 	if q3.Edges[q3.FindEdge(0, 2)].Bound != 3 {
 		t.Error("RxE did not relax the bound")
 	}
 
-	q4 := Op{Kind: AddE, U: 0, Bound: 2, NewNode: &NewNodeSpec{Label: "Shop"}}.Apply(q)
+	q4 := mustApply(t, Op{Kind: AddE, U: 0, Bound: 2, NewNode: &NewNodeSpec{Label: "Shop"}}, q)
 	if len(q4.Nodes) != 4 || q4.Nodes[3].Label != "Shop" {
 		t.Error("AddE with NewNode did not create the node")
 	}
@@ -250,7 +250,7 @@ func TestRmEIsolatesBothEndpoints(t *testing.T) {
 	q.Focus = b
 	// Removing the only edge isolates both; the non-focus endpoint is
 	// ignored, the focus keeps constraining.
-	q2 := Op{Kind: RmE, U: a, U2: b, Bound: 1}.Apply(q)
+	q2 := mustApply(t, Op{Kind: RmE, U: a, U2: b, Bound: 1}, q)
 	if !q2.IsolatedIgnored(a) {
 		t.Error("detached non-focus endpoint should be ignored")
 	}
@@ -391,5 +391,35 @@ func TestKindClassesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// mustApply applies o to q, failing the test on a structural error.
+func mustApply(t *testing.T, o Op, q *query.Query) *query.Query {
+	t.Helper()
+	q2, err := o.Apply(q)
+	if err != nil {
+		t.Fatalf("Apply(%s): %v", o, err)
+	}
+	return q2
+}
+
+// TestApplyStructuralErrors: Apply reports — rather than panics on —
+// operators that do not fit the query.
+func TestApplyStructuralErrors(t *testing.T) {
+	_, q := fixture()
+	bad := []Op{
+		{Kind: RmL, U: 0, Lit: lit("NoSuchAttr", graph.GE, 1)},
+		{Kind: RxL, U: 0, Lit: lit("NoSuchAttr", graph.GE, 1), NewLit: lit("NoSuchAttr", graph.GE, 0)},
+		{Kind: RfL, U: 0, Lit: lit("NoSuchAttr", graph.GE, 1), NewLit: lit("NoSuchAttr", graph.GE, 2)},
+		{Kind: RmE, U: 1, U2: 2, Bound: 1}, // no such edge
+		{Kind: RxE, U: 1, U2: 2, Bound: 1, NewBound: 2},
+		{Kind: RfE, U: 1, U2: 2, Bound: 2, NewBound: 1},
+		{Kind: Kind(42)},
+	}
+	for _, o := range bad {
+		if q2, err := o.Apply(q); err == nil {
+			t.Errorf("Apply(%s) = %s, want structural error", o, q2)
+		}
 	}
 }

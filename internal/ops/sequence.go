@@ -28,7 +28,11 @@ func (s Sequence) Apply(q *query.Query, p Params) (*query.Query, error) {
 		if !o.Applicable(cur, p) {
 			return nil, fmt.Errorf("ops: operator %d (%s) not applicable to %s", i, o, cur)
 		}
-		cur = o.Apply(cur)
+		next, err := o.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("ops: operator %d: %w", i, err)
+		}
+		cur = next
 	}
 	return cur, nil
 }

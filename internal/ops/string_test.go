@@ -61,7 +61,7 @@ func TestCostCategoricalLiteral(t *testing.T) {
 // TestEmptyOpApply: the empty operator clones without change.
 func TestEmptyOpApply(t *testing.T) {
 	_, q := fixture()
-	q2 := Op{Kind: Empty}.Apply(q)
+	q2 := mustApply(t, Op{Kind: Empty}, q)
 	if q2.Key() != q.Key() {
 		t.Error("empty operator changed the query")
 	}
