@@ -4,10 +4,11 @@
 GO ?= go
 
 # Packages with shared mutable state (star-view cache, lazy graph
-# caches, chase sessions) that must stay clean under the race detector.
-RACE_PKGS = ./internal/graph ./internal/match ./internal/chase
+# caches, chase sessions, the worker pool) that must stay clean under
+# the race detector.
+RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par
 
-.PHONY: all build vet fmt-check test race lint ci
+.PHONY: all build vet fmt-check test race lint bench-parallel ci
 
 all: build
 
@@ -33,4 +34,9 @@ race:
 lint:
 	$(GO) run ./cmd/wqe-lint ./...
 
-ci: build vet fmt-check test race lint
+# Regenerate BENCH_parallel.json: sequential vs parallel wall-clock of
+# the Q-Chase evaluation engine on the synthetic workload.
+bench-parallel:
+	WQE_BENCH_JSON=$(abspath BENCH_parallel.json) $(GO) test ./internal/chase -run TestEmitParallelBench -v
+
+ci: build vet fmt-check test race lint bench-parallel

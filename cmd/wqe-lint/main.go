@@ -1,7 +1,8 @@
 // Command wqe-lint runs the repo-specific static-analysis suite of
 // internal/lint over the module: mapiter (deterministic map iteration),
 // lockcheck (annotated mutex discipline), panicfree (no panics in
-// library code), and floateq (no float ==/!= in ranking code).
+// library code), floateq (no float ==/!= in ranking code), and gobound
+// (no goroutine spawns outside the internal/par worker pool).
 //
 // Usage:
 //

@@ -6,6 +6,7 @@ import (
 
 	"wqe/internal/match"
 	"wqe/internal/ops"
+	"wqe/internal/par"
 	"wqe/internal/query"
 )
 
@@ -26,6 +27,16 @@ type state struct {
 	generated  bool
 	diff       []DiffEntry
 	id         int // insertion order, for deterministic tie-breaking
+
+	// spec caches speculative sibling evaluations by rewrite key: when
+	// the best-first search evaluates this state's top pending operator,
+	// idle workers prefetch the next few siblings' Match results. A
+	// Match result depends only on the rewrite (the key), never on which
+	// operator produced it, so consuming a cached entry is exact — and
+	// entries that are never consumed never count as steps, so the
+	// MaxSteps schedule matches the sequential one candidate-for-
+	// candidate.
+	spec map[string]*match.Result
 }
 
 // prio is the frontier priority: the state's closeness plus the
@@ -183,13 +194,9 @@ func (w *Why) TopK(k int) []Answer {
 		k = 1
 	}
 	start := time.Now()
-	w.Stats = Stats{}
-	defer func() {
-		w.Stats.Elapsed = time.Since(start)
-		if c := w.Matcher.Cache; c != nil {
-			w.Stats.CacheHits, w.Stats.CacheMiss = c.Stats()
-		}
-	}()
+	w.beginRun()
+	defer w.endRun(start)
+	workers := w.workers()
 
 	rootAns, rootRes := w.evaluate(w.Q, nil)
 	root := &state{
@@ -211,16 +218,13 @@ func (w *Why) TopK(k int) []Answer {
 	w.Stats.States++
 	nextID := 1
 
-	deadline := time.Time{}
-	if w.Cfg.TimeLimit > 0 {
-		deadline = start.Add(w.Cfg.TimeLimit)
-	}
+	deadline := w.deadline(w.clock())
 
 	for pq.Len() > 0 {
-		if w.Stats.Steps >= w.Cfg.MaxSteps {
+		if w.stepsUsed() >= w.Cfg.MaxSteps {
 			break
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if w.expired(deadline) {
 			break
 		}
 		s := pq[0] // peek
@@ -244,7 +248,7 @@ func (w *Why) TopK(k int) []Answer {
 		visited[key] = true
 
 		seq2 := append(append(ops.Sequence{}, s.seq...), op.Op)
-		ans2, res2 := w.evaluate(q2, seq2)
+		ans2, res2 := w.evaluateTop(s, op, key, q2, seq2, visited, workers)
 		s2 := &state{
 			q:          q2,
 			seq:        seq2,
@@ -288,6 +292,68 @@ func (w *Why) TopK(k int) []Answer {
 		w.Stats.States++
 	}
 	return best.results()
+}
+
+// evaluateTop evaluates the operator the best-first search just popped
+// from state s. With a parallel pool it additionally prefetches s's next
+// pending siblings: whichever sibling rewrites pass the same budget/
+// visited screens the search applies at consumption time are Matched on
+// idle workers and parked in s.spec, keyed by rewrite key. Control flow
+// never depends on speculative results — they are a pure evaluation
+// cache, consumed (and only then counted as a step) if and when the
+// search pops that sibling — so the traversal is byte-identical to the
+// sequential one.
+func (w *Why) evaluateTop(s *state, op scoredOp, key string, q2 *query.Query,
+	seq2 ops.Sequence, visited map[string]bool, workers int) (Answer, *match.Result) {
+	if res, ok := s.spec[key]; ok {
+		w.steps.Add(1) // consumption is the step, not the prefetch
+		return w.answerFor(q2, seq2, res), res
+	}
+	if workers <= 1 {
+		ans, res := w.evaluate(q2, seq2)
+		return ans, res
+	}
+
+	batch := []*beamCand{{q2: q2, seq2: seq2, key: key}}
+	seen := map[string]bool{key: true}
+	for _, sib := range s.queue {
+		if len(batch) >= workers {
+			break
+		}
+		if s.cost+sib.Op.Cost(w.G) > w.Cfg.Budget+1e-9 {
+			continue
+		}
+		qs, err := sib.Op.Apply(s.q)
+		if err != nil {
+			continue
+		}
+		ks := qs.Key()
+		if seen[ks] || visited[ks] {
+			continue
+		}
+		if _, ok := s.spec[ks]; ok {
+			continue
+		}
+		seen[ks] = true
+		batch = append(batch, &beamCand{q2: qs, key: ks})
+	}
+	par.ForEach(workers, len(batch), func(i int) {
+		c := batch[i]
+		if i == 0 {
+			c.ans, c.res = w.evaluate(c.q2, c.seq2)
+			return
+		}
+		_, c.res = w.evaluateUncounted(c.q2, nil)
+	})
+	if len(batch) > 1 {
+		if s.spec == nil {
+			s.spec = make(map[string]*match.Result, len(batch)-1)
+		}
+		for _, c := range batch[1:] {
+			s.spec[c.key] = c.res
+		}
+	}
+	return batch[0].ans, batch[0].res
 }
 
 // topList maintains the k best satisfying answers plus a fallback for

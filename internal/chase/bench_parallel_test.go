@@ -1,0 +1,93 @@
+package chase_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"wqe/internal/chase"
+	"wqe/internal/datagen"
+)
+
+// parallelBench is the BENCH_parallel.json schema: sequential versus
+// parallel wall-clock on the synthetic workload, plus enough context to
+// interpret the number (the >=1.5x speedup target applies on machines
+// with >=4 cores; a single-core runner records ~1.0x by construction).
+type parallelBench struct {
+	GeneratedBy     string  `json:"generated_by"`
+	Cores           int     `json:"cores"`
+	ParallelWorkers int     `json:"parallel_workers"`
+	Workload        string  `json:"workload"`
+	SequentialMS    float64 `json:"sequential_ms"`
+	ParallelMS      float64 `json:"parallel_ms"`
+	Speedup         float64 `json:"speedup"`
+	OutputIdentical bool    `json:"output_identical"`
+	Note            string  `json:"note"`
+}
+
+// TestEmitParallelBench measures the parallel evaluation engine against
+// the sequential schedule on the synthetic workload and writes
+// BENCH_parallel.json. Gated behind WQE_BENCH_JSON (it is a wall-clock
+// measurement, not a correctness test): set it to 1 to write the repo
+// default, or to an explicit output path. `make bench-parallel` wraps
+// this.
+func TestEmitParallelBench(t *testing.T) {
+	out := os.Getenv("WQE_BENCH_JSON")
+	if out == "" {
+		t.Skip("set WQE_BENCH_JSON=1 (or to an output path) to emit BENCH_parallel.json")
+	}
+	if out == "1" {
+		out = filepath.Join("..", "..", "BENCH_parallel.json")
+	}
+
+	const workload = "products n=4000: 4 Why-questions x (AnsHeu(4) + ApxWhyM), MaxSteps=2000, cache on"
+	g, instances := genInstances(t, datagen.DatasetProducts, 4000, 4, 11)
+	run := func(workers int) (time.Duration, string) {
+		transcript := ""
+		start := time.Now()
+		for _, inst := range instances {
+			cfg := chase.DefaultConfig()
+			cfg.MaxSteps = 2000
+			cfg.Workers = workers
+			w, err := chase.NewWhy(g, inst.Q, inst.E, cfg)
+			if err != nil {
+				t.Fatalf("NewWhy: %v", err)
+			}
+			transcript += renderAnswer(w.AnsHeu(4)) + "\n"
+			transcript += renderAnswer(w.ApxWhyM()) + "\n"
+		}
+		return time.Since(start), transcript
+	}
+
+	run(1) // warm the JIT-free but cache-sensitive paths once
+	seqDur, seqOut := run(1)
+	parDur, parOut := run(0)
+
+	b := parallelBench{
+		GeneratedBy:     "WQE_BENCH_JSON=1 go test ./internal/chase -run TestEmitParallelBench (make bench-parallel)",
+		Cores:           runtime.GOMAXPROCS(0),
+		ParallelWorkers: runtime.GOMAXPROCS(0),
+		Workload:        workload,
+		SequentialMS:    float64(seqDur.Microseconds()) / 1000,
+		ParallelMS:      float64(parDur.Microseconds()) / 1000,
+		Speedup:         float64(seqDur) / float64(parDur),
+		OutputIdentical: seqOut == parOut,
+		Note: "speedup target is >=1.5x on >=4 cores; single-core runners " +
+			"record ~1.0x because the worker pool degenerates to one worker",
+	}
+	if !b.OutputIdentical {
+		t.Fatalf("parallel output diverged from sequential:\n--- seq\n%s--- par\n%s", seqOut, parOut)
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", out, err)
+	}
+	t.Logf("wrote %s: seq=%.0fms par=%.0fms speedup=%.2fx on %d core(s)",
+		out, b.SequentialMS, b.ParallelMS, b.Speedup, b.Cores)
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"wqe/internal/distindex"
@@ -23,6 +24,7 @@ import (
 	"wqe/internal/graph"
 	"wqe/internal/match"
 	"wqe/internal/ops"
+	"wqe/internal/par"
 	"wqe/internal/query"
 )
 
@@ -73,6 +75,13 @@ type Config struct {
 	// TimeLimit, when positive, stops the search after the wall-clock
 	// limit and returns the best rewrite so far (anytime behavior).
 	TimeLimit time.Duration
+	// Workers bounds the evaluation worker pool the parallel algorithms
+	// fan rewrite evaluations out over: 0 (the default) uses one worker
+	// per logical CPU, 1 forces fully sequential evaluation. Output is
+	// byte-identical for every setting — candidates are claimed and
+	// committed in sequential order; only the Match calls in between run
+	// concurrently (see DESIGN.md "Concurrency model").
+	Workers int
 	// OnImprove, when non-nil, is invoked every time the best rewrite
 	// improves — the paper's "return Q* upon request" anytime hook.
 	OnImprove func(best Answer)
@@ -157,8 +166,21 @@ type Why struct {
 	// rest of the rewrite.
 	partnerCache map[partnerCacheKey][]graph.NodeID
 
-	// Stats accumulates search effort across one algorithm run.
+	// Stats accumulates search effort across one algorithm run. It is
+	// written only by the algorithm goroutine (beginRun/endRun and the
+	// sequential commit phases); parallel evaluation workers touch only
+	// the atomic steps counter below, so Stats aggregation is race-free.
 	Stats Stats
+
+	// steps counts query evaluations for the current run. It is the one
+	// statistic bumped inside evaluate, which runs concurrently on
+	// worker goroutines — hence atomic rather than a Stats field.
+	steps atomic.Int64
+
+	// clock supplies the time for TimeLimit deadline checks. It is
+	// time.Now outside tests; deadline tests substitute a fake clock to
+	// exercise expiry deterministically.
+	clock func() time.Time
 }
 
 // Stats reports search effort.
@@ -214,6 +236,7 @@ func NewWhy(g *graph.Graph, q *query.Query, e *exemplar.Exemplar, cfg Config) (*
 		params:       ops.Params{MaxBound: cfg.MaxBound},
 		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
 		partnerCache: map[partnerCacheKey][]graph.NodeID{},
+		clock:        time.Now,
 	}
 	// Warm the graph's lazy caches so concurrent Why-questions over the
 	// same graph stay race-free.
@@ -305,9 +328,26 @@ func (a Answer) String() string {
 }
 
 // evaluate runs Match on q and assembles an Answer (without lineage).
+// It counts one Q-Chase step and is safe to call from evaluation
+// workers: the step counter is atomic and everything else it touches is
+// either read-only or internally synchronized (see match.Matcher).
 func (w *Why) evaluate(q *query.Query, seq ops.Sequence) (Answer, *match.Result) {
+	w.steps.Add(1)
+	return w.evaluateUncounted(q, seq)
+}
+
+// evaluateUncounted is evaluate without the step accounting. Speculative
+// evaluation (the AnsW sibling prefetch) uses it so that work thrown
+// away unread never perturbs the MaxSteps budget — step counts must
+// match the sequential schedule exactly for output to stay identical.
+func (w *Why) evaluateUncounted(q *query.Query, seq ops.Sequence) (Answer, *match.Result) {
 	res := w.Matcher.Match(q)
-	w.Stats.Steps++
+	return w.answerFor(q, seq, res), res
+}
+
+// answerFor assembles the Answer envelope around an existing evaluation
+// result (used when the Match came from the speculative cache).
+func (w *Why) answerFor(q *query.Query, seq ops.Sequence, res *match.Result) Answer {
 	norm, err := seq.NormalForm()
 	if err != nil {
 		norm = seq
@@ -319,7 +359,47 @@ func (w *Why) evaluate(q *query.Query, seq ops.Sequence) (Answer, *match.Result)
 		Closeness: w.Closeness(res.Answer),
 		Matches:   res.Answer,
 		Satisfied: w.Satisfied(res.Answer),
-	}, res
+	}
+}
+
+// beginRun resets per-run statistics. Every algorithm entry point calls
+// it before its first evaluation.
+func (w *Why) beginRun() {
+	w.Stats = Stats{}
+	w.steps.Store(0)
+}
+
+// endRun folds the atomic step counter and cache statistics into Stats
+// and stamps the elapsed wall-clock. Runs on the algorithm goroutine
+// after all evaluation workers have joined.
+func (w *Why) endRun(start time.Time) {
+	w.Stats.Steps = int(w.steps.Load())
+	w.Stats.Elapsed = time.Since(start)
+	if c := w.Matcher.Cache; c != nil {
+		w.Stats.CacheHits, w.Stats.CacheMiss = c.Stats()
+	}
+}
+
+// stepsUsed reads the current run's evaluation count (for MaxSteps
+// budget checks on the algorithm goroutine).
+func (w *Why) stepsUsed() int { return int(w.steps.Load()) }
+
+// workers resolves Config.Workers to a concrete pool size.
+func (w *Why) workers() int { return par.Workers(w.Cfg.Workers) }
+
+// deadline converts Config.TimeLimit into an absolute deadline (zero
+// when unlimited), anchored at the run's start on w.clock.
+func (w *Why) deadline(start time.Time) time.Time {
+	if w.Cfg.TimeLimit <= 0 {
+		return time.Time{}
+	}
+	return start.Add(w.Cfg.TimeLimit)
+}
+
+// expired reports whether the run's deadline has passed. A zero
+// deadline never expires.
+func (w *Why) expired(deadline time.Time) bool {
+	return !deadline.IsZero() && w.clock().After(deadline)
 }
 
 // sortNodes sorts a node slice in place and returns it.

@@ -1,0 +1,92 @@
+package chase
+
+import (
+	"testing"
+	"time"
+
+	"wqe/internal/datagen"
+)
+
+// fakeClock advances a fixed step on every read, making TimeLimit
+// expiry a deterministic function of how many deadline checks ran.
+func fakeClock(step time.Duration) func() time.Time {
+	now := time.Unix(0, 0)
+	return func() time.Time {
+		now = now.Add(step)
+		return now
+	}
+}
+
+// TestBeamDeadlineCheckedPerCandidate pins the TimeLimit bugfix: the
+// beam search re-checks the deadline for every claimed candidate, not
+// just once per frontier state, so a single state with a large operator
+// pool can no longer blow past the limit by a whole beam width.
+//
+// The fake clock advances 4ms per read against a 10ms limit anchored at
+// the first read: the first level's claim loop gets through at most one
+// candidate before its next per-candidate check expires. The old
+// per-state-only check would have claimed the full beam.
+func TestBeamDeadlineCheckedPerCandidate(t *testing.T) {
+	f := datagen.NewFig1()
+
+	full, err := NewWhy(f.G, f.Q, f.E, DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewWhy: %v", err)
+	}
+	full.AnsHeu(8)
+	if full.Stats.Steps <= 3 {
+		t.Fatalf("fixture too small: unlimited run took only %d steps", full.Stats.Steps)
+	}
+
+	cfg := DefaultConfig()
+	cfg.TimeLimit = 10 * time.Millisecond
+	w, err := NewWhy(f.G, f.Q, f.E, cfg)
+	if err != nil {
+		t.Fatalf("NewWhy: %v", err)
+	}
+	w.clock = fakeClock(4 * time.Millisecond)
+	ans := w.AnsHeu(8)
+
+	if w.Stats.Steps >= full.Stats.Steps {
+		t.Fatalf("deadline did not cut the search: %d steps, unlimited run %d",
+			w.Stats.Steps, full.Stats.Steps)
+	}
+	// Root evaluation plus at most one level-1 candidate: expiring after
+	// that proves the check sits inside the expansion loop.
+	if w.Stats.Steps > 2 {
+		t.Fatalf("deadline should expire mid-expansion after at most 2 steps, got %d", w.Stats.Steps)
+	}
+	if ans.Query == nil {
+		t.Fatal("anytime contract broken: no best-so-far answer returned")
+	}
+}
+
+// TestTopKDeadlineDeterministic checks the best-first search against the
+// same fake clock: expiry stops the traversal early and still returns
+// the best rewrite found so far.
+func TestTopKDeadlineDeterministic(t *testing.T) {
+	f := datagen.NewFig1()
+
+	full, err := NewWhy(f.G, f.Q, f.E, DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewWhy: %v", err)
+	}
+	full.AnsW()
+
+	cfg := DefaultConfig()
+	cfg.TimeLimit = 10 * time.Millisecond
+	w, err := NewWhy(f.G, f.Q, f.E, cfg)
+	if err != nil {
+		t.Fatalf("NewWhy: %v", err)
+	}
+	w.clock = fakeClock(4 * time.Millisecond)
+	ans := w.AnsW()
+
+	if w.Stats.Steps >= full.Stats.Steps {
+		t.Fatalf("deadline did not cut the search: %d steps, unlimited run %d",
+			w.Stats.Steps, full.Stats.Steps)
+	}
+	if ans.Query == nil {
+		t.Fatal("anytime contract broken: no best-so-far answer returned")
+	}
+}

@@ -18,13 +18,8 @@ import (
 // example-agnostic baseline.
 func (w *Why) FMAnsW() Answer {
 	start := time.Now()
-	w.Stats = Stats{}
-	defer func() {
-		w.Stats.Elapsed = time.Since(start)
-		if c := w.Matcher.Cache; c != nil {
-			w.Stats.CacheHits, w.Stats.CacheMiss = c.Stats()
-		}
-	}()
+	w.beginRun()
+	defer w.endRun(start)
 
 	rootAns, _ := w.evaluate(w.Q, nil)
 	focusLabel := w.Q.Nodes[w.Q.Focus].Label

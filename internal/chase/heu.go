@@ -4,7 +4,10 @@ import (
 	"sort"
 	"time"
 
+	"wqe/internal/match"
 	"wqe/internal/ops"
+	"wqe/internal/par"
+	"wqe/internal/query"
 )
 
 // AnsHeu is the faster tunable heuristic of §5.5: a breadth-first beam
@@ -22,18 +25,40 @@ func (w *Why) AnsHeuB(beam int) Answer {
 	return w.beamSearch(beam, true)
 }
 
+// beamCand is one claimed beam expansion: the rewrite to evaluate plus
+// the slots the evaluation phase fills in. Claiming (operator choice,
+// budget check, visited marking) is sequential; only the evaluation
+// runs on worker goroutines.
+type beamCand struct {
+	parent *state
+	op     scoredOp
+	q2     *query.Query
+	seq2   ops.Sequence
+	key    string // rewrite key (AnsW speculation indexes spec by it)
+	ans    Answer
+	res    *match.Result
+}
+
+// beamSearch runs one beam level at a time in three phases:
+//
+//  1. claim — walk the frontier in order, generate each state's
+//     operator pool, and claim up to beam candidates per state exactly
+//     as the sequential search would (budget, visited, MaxSteps, and
+//     TimeLimit checks all happen here, per candidate);
+//  2. evaluate — fan the claimed candidates' Match calls out over the
+//     worker pool;
+//  3. commit — fold results back in claim order (best-list offers,
+//     diff lineage, Stats.States, beam eviction).
+//
+// Because no claim decision reads a same-level evaluation result, the
+// output is byte-identical for every Config.Workers setting.
 func (w *Why) beamSearch(beam int, random bool) Answer {
 	if beam < 1 {
 		beam = 1
 	}
 	start := time.Now()
-	w.Stats = Stats{}
-	defer func() {
-		w.Stats.Elapsed = time.Since(start)
-		if c := w.Matcher.Cache; c != nil {
-			w.Stats.CacheHits, w.Stats.CacheMiss = c.Stats()
-		}
-	}()
+	w.beginRun()
+	defer w.endRun(start)
 
 	rootAns, rootRes := w.evaluate(w.Q, nil)
 	root := &state{
@@ -48,18 +73,19 @@ func (w *Why) beamSearch(beam int, random bool) Answer {
 	}
 	visited := map[string]bool{w.Q.Key(): true}
 	frontier := []*state{root}
-	deadline := time.Time{}
-	if w.Cfg.TimeLimit > 0 {
-		deadline = start.Add(w.Cfg.TimeLimit)
-	}
+	deadline := w.deadline(w.clock())
+	workers := w.workers()
 
 	for len(frontier) > 0 {
-		var children []*state
+		// Phase 1 — claim. simSteps predicts the step counter as if the
+		// claimed evaluations had already run (each candidate costs
+		// exactly one), so MaxSteps cuts off at the same candidate the
+		// sequential schedule would stop at.
+		simSteps := w.stepsUsed()
+		var cands []*beamCand
+	claim:
 		for _, s := range frontier {
-			if w.Stats.Steps >= w.Cfg.MaxSteps {
-				break
-			}
-			if !deadline.IsZero() && time.Now().After(deadline) {
+			if simSteps >= w.Cfg.MaxSteps || w.expired(deadline) {
 				break
 			}
 			used := opTargets(s.seq)
@@ -86,6 +112,12 @@ func (w *Why) beamSearch(beam int, random bool) Answer {
 				if expanded >= beam {
 					break
 				}
+				// The deadline is re-checked per claimed candidate, not
+				// just per frontier state: one state's pool can be large
+				// enough to blow far past TimeLimit otherwise.
+				if simSteps >= w.Cfg.MaxSteps || w.expired(deadline) {
+					break claim
+				}
 				if s.cost+op.Op.Cost(w.G) > w.Cfg.Budget+1e-9 {
 					continue
 				}
@@ -99,32 +131,48 @@ func (w *Why) beamSearch(beam int, random bool) Answer {
 				}
 				visited[key] = true
 				expanded++
-
-				seq2 := append(append(ops.Sequence{}, s.seq...), op.Op)
-				ans2, res2 := w.evaluate(q2, seq2)
-				s2 := &state{
-					q:          q2,
-					seq:        seq2,
-					cost:       ans2.Cost,
-					res:        res2,
-					cl:         ans2.Closeness,
-					clPlus:     w.ClPlus(res2.Answer),
-					sat:        ans2.Satisfied,
-					refineOnly: s.refineOnly || op.Op.Kind.IsRefine(),
-				}
-				s2.diff = append(append([]DiffEntry{}, s.diff...),
-					w.diffEntry(op.Op, op.PickyEdge, s.res.Answer, res2.Answer))
-				ans2.Diff = s2.diff
-				if best.offer(ans2) {
-					w.Stats.Trajectory = append(w.Stats.Trajectory,
-						Sample{At: time.Since(start), Closeness: best.bestCl()})
-					if w.Cfg.OnImprove != nil {
-						w.Cfg.OnImprove(best.list[0])
-					}
-				}
-				children = append(children, s2)
-				w.Stats.States++
+				simSteps++
+				cands = append(cands, &beamCand{
+					parent: s,
+					op:     op,
+					q2:     q2,
+					seq2:   append(append(ops.Sequence{}, s.seq...), op.Op),
+				})
 			}
+		}
+
+		// Phase 2 — evaluate the whole level concurrently.
+		par.ForEach(workers, len(cands), func(i int) {
+			c := cands[i]
+			c.ans, c.res = w.evaluate(c.q2, c.seq2)
+		})
+
+		// Phase 3 — commit in claim order.
+		var children []*state
+		for _, c := range cands {
+			s, ans2, res2 := c.parent, c.ans, c.res
+			s2 := &state{
+				q:          c.q2,
+				seq:        c.seq2,
+				cost:       ans2.Cost,
+				res:        res2,
+				cl:         ans2.Closeness,
+				clPlus:     w.ClPlus(res2.Answer),
+				sat:        ans2.Satisfied,
+				refineOnly: s.refineOnly || c.op.Op.Kind.IsRefine(),
+			}
+			s2.diff = append(append([]DiffEntry{}, s.diff...),
+				w.diffEntry(c.op.Op, c.op.PickyEdge, s.res.Answer, res2.Answer))
+			ans2.Diff = s2.diff
+			if best.offer(ans2) {
+				w.Stats.Trajectory = append(w.Stats.Trajectory,
+					Sample{At: time.Since(start), Closeness: best.bestCl()})
+				if w.Cfg.OnImprove != nil {
+					w.Cfg.OnImprove(best.list[0])
+				}
+			}
+			children = append(children, s2)
+			w.Stats.States++
 		}
 		if best.full() && best.kthCl() >= w.ClStar-1e-12 {
 			break

@@ -23,13 +23,8 @@ import (
 // verified by evaluation and the next candidate is tried on failure.
 func (w *Why) AnsWE() Answer {
 	start := time.Now()
-	w.Stats = Stats{}
-	defer func() {
-		w.Stats.Elapsed = time.Since(start)
-		if c := w.Matcher.Cache; c != nil {
-			w.Stats.CacheHits, w.Stats.CacheMiss = c.Stats()
-		}
-	}()
+	w.beginRun()
+	defer w.endRun(start)
 
 	rootAns, _ := w.evaluate(w.Q, nil)
 	q := w.Q

@@ -6,6 +6,8 @@ import (
 	"wqe/internal/graph"
 	"wqe/internal/match"
 	"wqe/internal/ops"
+	"wqe/internal/par"
+	"wqe/internal/query"
 )
 
 // ApxWhyM answers Why-Many questions (§6.1, Fig 9): refine Q with
@@ -15,13 +17,8 @@ import (
 // carries the fixed-parameter ½(1−1/e) approximation of Theorem 6.1.
 func (w *Why) ApxWhyM() Answer {
 	start := time.Now()
-	w.Stats = Stats{}
-	defer func() {
-		w.Stats.Elapsed = time.Since(start)
-		if c := w.Matcher.Cache; c != nil {
-			w.Stats.CacheHits, w.Stats.CacheMiss = c.Stats()
-		}
-	}()
+	w.beginRun()
+	defer w.endRun(start)
 
 	rootAns, rootRes := w.evaluate(w.Q, nil)
 	if !hasIM(w, rootRes) {
@@ -35,7 +32,31 @@ func (w *Why) ApxWhyM() Answer {
 
 	// Exact per-seed coverage: evaluate Q ⊕ {o} once per seed and record
 	// which irrelevant (and relevant) matches it removes. This "ensures
-	// the removal of IM(o)" as the paper requires of SeedRf.
+	// the removal of IM(o)" as the paper requires of SeedRf. The seed
+	// evaluations are independent of one another, so they run on the
+	// worker pool: applicability is decided sequentially first, and the
+	// coverage sets are committed in seed order, keeping the greedy
+	// selection's input — and hence the result — byte-identical for any
+	// worker count.
+	type seedCand struct {
+		op  ops.Op
+		q2  *query.Query
+		ans Answer
+		res *match.Result
+	}
+	var pending []*seedCand
+	for _, s := range seeds {
+		q2, err := s.Op.Apply(w.Q)
+		if err != nil {
+			continue // seed op no longer fits Q
+		}
+		pending = append(pending, &seedCand{op: s.Op, q2: q2})
+	}
+	par.ForEach(w.workers(), len(pending), func(i int) {
+		c := pending[i]
+		c.ans, c.res = w.evaluate(c.q2, ops.Sequence{c.op})
+	})
+
 	type seed struct {
 		op        ops.Op
 		cost      float64
@@ -44,16 +65,11 @@ func (w *Why) ApxWhyM() Answer {
 		single    Answer
 	}
 	var evaluated []seed
-	for _, s := range seeds {
-		q2, err := s.Op.Apply(w.Q)
-		if err != nil {
-			continue // seed op no longer fits Q
-		}
-		ans2, res2 := w.evaluate(q2, ops.Sequence{s.Op})
-		sd := seed{op: s.Op, cost: s.Op.Cost(w.G), single: ans2,
+	for _, c := range pending {
+		sd := seed{op: c.op, cost: c.op.Cost(w.G), single: c.ans,
 			removedIM: map[graph.NodeID]bool{}, removedRM: map[graph.NodeID]bool{}}
 		for _, v := range rootRes.Answer {
-			if res2.Has(v) {
+			if c.res.Has(v) {
 				continue
 			}
 			if w.Eval.InRep(v) {

@@ -1,0 +1,43 @@
+package lint
+
+import "go/ast"
+
+// GoBound returns the gobound analyzer: it flags every `go` statement
+// outside the approved worker-pool package (par). The module's
+// concurrency model routes all fan-out through par.ForEach, which
+// guarantees structured lifetime (workers join before the call
+// returns), bounded parallelism, and panic propagation; a raw goroutine
+// anywhere else escapes those guarantees and — worse for this codebase
+// — tempts completion-order-dependent commits that break byte-identical
+// output across worker counts.
+func GoBound() *Analyzer {
+	return &Analyzer{
+		Name: "gobound",
+		Doc:  "flag goroutine spawns outside the approved worker pool (internal/par)",
+		Applies: func(pkg *Package) bool {
+			return pkg.Name() != "par"
+		},
+		Run: runGoBound,
+	}
+}
+
+func runGoBound(mod *Module, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(gs.Pos()),
+				Rule: "gobound",
+				Msg: "raw goroutine outside internal/par; use par.ForEach so fan-out " +
+					"stays bounded, joined, and deterministic to commit " +
+					"(or //lint:ignore gobound <why this spawn is safe>)",
+			})
+			return true
+		})
+	}
+	return out
+}

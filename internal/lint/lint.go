@@ -1,7 +1,7 @@
 // Package lint implements wqe's repo-specific static-analysis suite
 // using only the standard library's go/parser, go/ast, and go/types.
 //
-// Four analyzers enforce the invariants the paper's algorithms depend
+// Five analyzers enforce the invariants the paper's algorithms depend
 // on for reproducible output:
 //
 //   - mapiter: no raw `for range` over maps in canonical-output
@@ -16,6 +16,9 @@
 //     unreachable states.
 //   - floateq: no ==/!= on floating-point operands in closeness/ranking
 //     code (chase, exemplar) — compare with explicit </> arms instead.
+//   - gobound: no raw `go` statements outside internal/par — all
+//     fan-out goes through the bounded, joined, panic-propagating
+//     worker pool, keeping output independent of completion order.
 //
 // Any finding can be suppressed with a trailing or preceding
 // `//lint:ignore <rule> <reason>` comment.
@@ -58,6 +61,7 @@ func Analyzers() []*Analyzer {
 		LockCheck(),
 		PanicFree(),
 		FloatEq(),
+		GoBound(),
 	}
 }
 

@@ -1,0 +1,37 @@
+// Package pool is a lint fixture for gobound: goroutine spawns outside
+// the approved worker-pool package are flagged.
+package pool
+
+import "sync"
+
+// Spawn launches a raw goroutine: flagged.
+func Spawn(fn func()) {
+	go fn() // want gobound
+}
+
+// SpawnJoined is flagged too — even a properly joined goroutine must go
+// through the worker pool so fan-out stays bounded and auditable.
+func SpawnJoined(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func() { // want gobound
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
+// Suppressed uses the inline escape hatch.
+func Suppressed(fn func()) {
+	//lint:ignore gobound fixture for the suppression path
+	go fn()
+}
+
+// Sequential spawns nothing: not flagged.
+func Sequential(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}

@@ -1,11 +1,26 @@
 package match
 
-import "sync"
+import (
+	"math"
+	"sync"
+)
+
+// maxDecayAge caps the exponent of the closed-form hit decay. At the
+// default decay 0.95, 0.95^600 ≈ 4e-14 — far below one hit — so any
+// larger age flushes the hit count outright and math.Pow never sees
+// extreme exponents.
+const maxDecayAge = 1 << 12
 
 // Cache is the global star-view cache of §5.2. Entries are keyed by the
 // structural star key; each use bumps a hit counter that decays with a
 // time factor, and when the cache is full the least-hit entry is
-// evicted.
+// evicted (ties broken on the smallest key, so eviction is
+// deterministic).
+//
+// Concurrent misses on the same key are collapsed by GetOrBuild: the
+// first caller builds the table while the rest block on the in-flight
+// build, so a beam level fanning out over near-identical rewrites
+// materializes each star once instead of once per worker.
 type Cache struct {
 	// mu guards every mutable field below; cap and decay are immutable
 	// after construction.
@@ -13,8 +28,9 @@ type Cache struct {
 	cap   int
 	decay float64
 
-	tick    int64                  // guarded by mu
-	entries map[string]*cacheEntry // guarded by mu
+	tick     int64                  // guarded by mu
+	entries  map[string]*cacheEntry // guarded by mu
+	inflight map[string]*flight     // guarded by mu
 
 	hits, misses int64 // guarded by mu
 }
@@ -23,6 +39,14 @@ type cacheEntry struct {
 	table    *StarTable
 	hits     float64
 	lastTick int64
+}
+
+// flight is one in-progress star-table build other callers can wait on.
+// table is written exactly once, before done is closed; waiters read it
+// only after <-done, so the handoff is race-free without a lock.
+type flight struct {
+	done  chan struct{}
+	table *StarTable
 }
 
 // NewCache returns a star-view cache holding at most capacity tables.
@@ -35,7 +59,12 @@ func NewCache(capacity int, decay float64) *Cache {
 	if decay <= 0 || decay > 1 {
 		decay = 0.95
 	}
-	return &Cache{cap: capacity, decay: decay, entries: map[string]*cacheEntry{}}
+	return &Cache{
+		cap:      capacity,
+		decay:    decay,
+		entries:  map[string]*cacheEntry{},
+		inflight: map[string]*flight{},
+	}
 }
 
 // Get returns the cached star table for key, bumping its decayed hit
@@ -54,12 +83,54 @@ func (c *Cache) Get(key string) *StarTable {
 	return e.table
 }
 
-// bumpLocked applies the time decay then counts one hit. The caller
-// must hold c.mu.
+// GetOrBuild returns the table for key, building it with build on a
+// miss. Concurrent callers missing on the same key share one build: the
+// first caller runs build (outside the cache lock), the rest block
+// until it finishes and return the same table. Every sharing caller is
+// still counted as a miss — they did miss; the singleflight only
+// de-duplicates the work.
+func (c *Cache) GetOrBuild(key string, build func() *StarTable) *StarTable {
+	c.mu.Lock()
+	c.tick++
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.bumpLocked(e)
+		t := e.table
+		c.mu.Unlock()
+		return t
+	}
+	c.misses++
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.table
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	t := build()
+
+	f.table = t
+	close(f.done)
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.tick++
+	c.putLocked(key, t)
+	c.mu.Unlock()
+	return t
+}
+
+// bumpLocked applies the time decay then counts one hit. The decay is
+// the closed form decay^age — a per-tick loop here would spin for the
+// whole age under the lock, which after a long miss streak (ticks
+// advance on every access, hits or not) meant millions of iterations
+// for a single bump. The caller must hold c.mu.
 func (c *Cache) bumpLocked(e *cacheEntry) {
-	age := c.tick - e.lastTick
-	for i := int64(0); i < age && e.hits > 1e-6; i++ {
-		e.hits *= c.decay
+	if age := c.tick - e.lastTick; age > maxDecayAge {
+		e.hits = 0 // decay^age underflows any meaningful hit mass
+	} else if age > 0 {
+		e.hits *= math.Pow(c.decay, float64(age))
 	}
 	e.hits++
 	e.lastTick = c.tick
@@ -70,6 +141,16 @@ func (c *Cache) Put(key string, t *StarTable) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tick++
+	c.putLocked(key, t)
+}
+
+// putLocked inserts or refreshes an entry, evicting the least-hit entry
+// when full. Equal hit counts tie-break on the smallest key: the scan
+// runs in map order, and without the tie-break a full cache of
+// equal-hit entries would evict a randomly chosen one, making cache
+// contents — and downstream hit/miss stats — differ between identical
+// runs. The caller must hold c.mu.
+func (c *Cache) putLocked(key string, t *StarTable) {
 	if e, ok := c.entries[key]; ok {
 		e.table = t
 		c.bumpLocked(e)
@@ -80,8 +161,14 @@ func (c *Cache) Put(key string, t *StarTable) {
 		worst := 0.0
 		first := true
 		for k, e := range c.entries {
-			if first || e.hits < worst {
+			switch {
+			case first:
 				worstKey, worst, first = k, e.hits, false
+			case e.hits < worst:
+				worstKey, worst = k, e.hits
+			case e.hits > worst:
+			case k < worstKey: // equal hits: smallest key loses
+				worstKey = k
 			}
 		}
 		delete(c.entries, worstKey)

@@ -1,0 +1,141 @@
+package match
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBumpSurvivesHugeTickGap is the regression test for the O(age)
+// decay spin: bumping an entry whose last touch lies a trillion ticks
+// in the past must complete instantly (the old per-tick loop under the
+// cache lock would run for minutes). The decayed mass must be flushed
+// to exactly one fresh hit.
+func TestBumpSurvivesHugeTickGap(t *testing.T) {
+	c := NewCache(8, 0.95)
+	c.Put("k", &StarTable{})
+
+	c.mu.Lock()
+	c.tick += 1_000_000_000_000 // simulate a very long miss streak
+	c.mu.Unlock()
+
+	start := time.Now()
+	if c.Get("k") == nil {
+		t.Fatal("entry vanished")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("bump across a huge tick gap took %v; decay must be closed-form", d)
+	}
+	c.mu.Lock()
+	hits := c.entries["k"].hits
+	c.mu.Unlock()
+	if hits != 1 {
+		t.Fatalf("hits after full decay = %v, want exactly 1", hits)
+	}
+}
+
+// TestBumpClosedFormMatchesLoop checks the closed form agrees with the
+// definitional per-tick decay on moderate ages.
+func TestBumpClosedFormMatchesLoop(t *testing.T) {
+	const decay = 0.9
+	c := NewCache(8, decay)
+	c.Put("k", &StarTable{})
+	c.mu.Lock()
+	e := c.entries["k"]
+	e.hits = 5
+	age := int64(37)
+	c.tick = e.lastTick + age
+	c.bumpLocked(e)
+	got := e.hits
+	c.mu.Unlock()
+
+	want := 5.0
+	for i := int64(0); i < age; i++ {
+		want *= decay
+	}
+	want++
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("closed-form bump = %v, per-tick loop gives %v", got, want)
+	}
+}
+
+// TestEvictionDeterministicOnTies fills a cache with equal-hit entries
+// and checks the eviction victim is always the smallest key, run after
+// run — map iteration order must not leak into cache contents.
+func TestEvictionDeterministicOnTies(t *testing.T) {
+	for run := 0; run < 20; run++ {
+		c := NewCache(4, 0.95)
+		for _, k := range []string{"d", "b", "c", "a"} {
+			c.Put(k, &StarTable{})
+		}
+		// All four entries decay identically; inserting a fifth must
+		// evict "a", the smallest key among the least-hit.
+		c.Put("e", &StarTable{})
+		if c.Get("a") != nil {
+			t.Fatalf("run %d: tie eviction kept \"a\"", run)
+		}
+		for _, k := range []string{"b", "c", "d", "e"} {
+			if c.Get(k) == nil {
+				t.Fatalf("run %d: tie eviction dropped %q instead of \"a\"", run, k)
+			}
+		}
+	}
+}
+
+// TestGetOrBuildSingleflight hammers one key from many goroutines and
+// checks the table is built exactly once, everyone gets that table, and
+// every initial caller is accounted a miss.
+func TestGetOrBuildSingleflight(t *testing.T) {
+	const workers = 16
+	c := NewCache(8, 0.95)
+	want := &StarTable{}
+	var builds atomic.Int32
+	var ready, done sync.WaitGroup
+	ready.Add(workers)
+	done.Add(workers)
+	results := make([]*StarTable, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer done.Done()
+			ready.Done()
+			ready.Wait() // maximize contention on the cold key
+			results[i] = c.GetOrBuild("hot", func() *StarTable {
+				builds.Add(1)
+				time.Sleep(20 * time.Millisecond) // hold the flight open
+				return want
+			})
+		}(i)
+	}
+	done.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("buildStarTable ran %d times for one key, want 1", n)
+	}
+	for i, got := range results {
+		if got != want {
+			t.Fatalf("caller %d got table %p, want the in-flight build %p", i, got, want)
+		}
+	}
+	if c.Get("hot") != want {
+		t.Fatal("table was not committed to the cache after the flight")
+	}
+}
+
+// TestGetOrBuildHitSkipsBuild checks a warm key never invokes build.
+func TestGetOrBuildHitSkipsBuild(t *testing.T) {
+	c := NewCache(8, 0.95)
+	want := &StarTable{}
+	c.Put("k", want)
+	got := c.GetOrBuild("k", func() *StarTable {
+		t.Fatal("build ran on a cache hit")
+		return nil
+	})
+	if got != want {
+		t.Fatalf("GetOrBuild returned %p, want cached %p", got, want)
+	}
+	hits, _ := c.Stats()
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}

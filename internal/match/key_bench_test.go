@@ -1,0 +1,144 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"wqe/internal/graph"
+	"wqe/internal/query"
+)
+
+// keyFixture builds a small attributed graph and a 3-star query with
+// literals — enough structure that key construction exercises every
+// signature path (direction, bounds, literals, focus wildcarding).
+func keyFixture() (*graph.Graph, *query.Query) {
+	g := graph.New()
+	phones := make([]graph.NodeID, 4)
+	for i := range phones {
+		phones[i] = g.AddNode("phone", map[string]graph.Value{
+			"price": graph.N(float64(100 + 50*i)),
+			"brand": graph.S("x"),
+		})
+	}
+	for i := 0; i < 3; i++ {
+		store := g.AddNode("store", map[string]graph.Value{"rating": graph.N(float64(i + 2))})
+		maker := g.AddNode("maker", nil)
+		g.AddEdge(store, phones[i], "sells")
+		g.AddEdge(maker, phones[i], "makes")
+		g.AddEdge(phones[i], phones[i+1], "rel")
+	}
+	g.WarmCaches()
+
+	q := query.New()
+	p := q.AddNode("phone", query.Literal{Attr: "price", Op: graph.LE, Val: graph.N(250)})
+	s := q.AddNode("store", query.Literal{Attr: "rating", Op: graph.GE, Val: graph.N(2)})
+	mk := q.AddNode("maker")
+	q.AddEdge(s, p, 1)
+	q.AddEdge(mk, p, 2)
+	q.Focus = p
+	return g, q
+}
+
+// BenchmarkStarKeys measures cache-key construction for one evaluation:
+// the per-star structural keys plus the per-graph prefix. This is the
+// allocation hot path the strings.Builder rewrite targets (the old code
+// rebuilt "g%d|" + s.Key(q) with fmt.Sprintf per star per Match).
+func BenchmarkStarKeys(b *testing.B) {
+	g, q := keyFixture()
+	m := NewMatcher(g, nil, NewCache(64, 0.95))
+	stars := Decompose(q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink string
+	for i := 0; i < b.N; i++ {
+		var kb strings.Builder
+		for _, s := range stars {
+			kb.Reset()
+			kb.WriteString(m.keyPrefix)
+			s.AppendKey(&kb, q)
+			sink = kb.String()
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkStarKeysLegacy reconstructs the pre-optimization key path —
+// fmt.Sprintf("g%d|%s", uid, key) around sprintf-built edge signatures
+// — so the allocation win of the builder rewrite stays measurable:
+// run both StarKeys benchmarks with -benchmem and compare.
+func BenchmarkStarKeysLegacy(b *testing.B) {
+	g, q := keyFixture()
+	stars := Decompose(q)
+	legacySig := func(u query.NodeID) string {
+		if u == q.Focus {
+			return q.Nodes[u].Label + "{*}"
+		}
+		return nodeSig(q, u)
+	}
+	legacyEdgeSig := func(e StarEdge) string {
+		dir := "<"
+		if e.Out {
+			dir = ">"
+		}
+		other := nodeSig(q, e.Other)
+		if e.Other == q.Focus {
+			other = q.Nodes[e.Other].Label + "{*}"
+		}
+		return fmt.Sprintf("%s%d%s", dir, e.Bound, other)
+	}
+	legacyKey := func(s *StarQuery) string {
+		var kb strings.Builder
+		kb.WriteString("c:")
+		kb.WriteString(legacySig(s.Center))
+		edges := make([]string, 0, len(s.Edges))
+		for _, e := range s.Edges {
+			edges = append(edges, legacyEdgeSig(e))
+		}
+		sort.Strings(edges)
+		for _, e := range edges {
+			kb.WriteByte('|')
+			kb.WriteString(e)
+		}
+		if s.Center == q.Focus {
+			kb.WriteString("|C*")
+		}
+		if !s.HasFocus {
+			fmt.Fprintf(&kb, "|aug:%d:%s", s.AugDist, legacySig(q.Focus))
+		}
+		return kb.String()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink string
+	for i := 0; i < b.N; i++ {
+		for _, s := range stars {
+			sink = fmt.Sprintf("g%d|%s", g.UID(), legacyKey(s))
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkMatchWarmCache measures a full Match against a warm star
+// cache — the steady-state Q-Chase evaluation cost, dominated by key
+// construction and table reads rather than materialization.
+func BenchmarkMatchWarmCache(b *testing.B) {
+	g, q := keyFixture()
+	m := NewMatcher(g, fixedDist{g}, NewCache(64, 0.95))
+	m.Match(q) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(q)
+	}
+}
+
+// fixedDist is a BFS-backed oracle without importing distindex's Auto
+// heuristics (keeps the benchmark allocation profile about matching).
+type fixedDist struct{ g *graph.Graph }
+
+func (d fixedDist) Dist(s, t graph.NodeID) int { return d.g.Dist(s, t, d.g.NumNodes()) }
+func (d fixedDist) Within(s, t graph.NodeID, bound int) bool {
+	return d.g.Dist(s, t, bound) <= bound
+}

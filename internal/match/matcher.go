@@ -1,8 +1,9 @@
 package match
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"wqe/internal/distindex"
 	"wqe/internal/graph"
@@ -11,17 +12,31 @@ import (
 
 // Matcher evaluates pattern queries over one graph. A non-nil Cache
 // makes repeated evaluation of similar queries (the Q-Chase workload)
-// incremental: structurally unchanged stars are reused.
+// incremental: structurally unchanged stars are reused. Match is safe
+// for concurrent use: the cache serializes its own state, in-flight
+// star builds are shared via singleflight, and everything else Match
+// touches is read-only after construction (warm the graph's lazy
+// caches first; chase.NewWhy does).
 type Matcher struct {
 	G     *graph.Graph
 	Dist  distindex.Index
 	Cache *Cache
+
+	// keyPrefix is the per-graph cache-key prefix ("g<uid>|"), hoisted
+	// out of the per-star key construction on the Match hot path.
+	keyPrefix string
 }
 
 // NewMatcher returns a matcher over g using the given distance oracle
 // and an optional star-view cache (nil disables caching).
 func NewMatcher(g *graph.Graph, dist distindex.Index, cache *Cache) *Matcher {
-	return &Matcher{G: g, Dist: dist, Cache: cache}
+	return &Matcher{
+		G:     g,
+		Dist:  dist,
+		Cache: cache,
+		// The graph uid keeps one cache safe to share across graphs.
+		keyPrefix: "g" + strconv.FormatUint(g.UID(), 10) + "|",
+	}
 }
 
 // StarInstance binds one star of the current query to its materialized
@@ -63,15 +78,18 @@ func (m *Matcher) Match(q *query.Query) *Result {
 		res.Candidates[u] = q.Candidates(m.G, query.NodeID(u))
 	}
 
+	var kb strings.Builder
 	for _, s := range Decompose(q) {
 		var t *StarTable
 		if m.Cache != nil {
-			// The graph uid keeps one cache safe to share across graphs.
-			key := fmt.Sprintf("g%d|%s", m.G.UID(), s.Key(q))
-			if t = m.Cache.Get(key); t == nil {
-				t = buildStarTable(m.G, q, s)
-				m.Cache.Put(key, t)
-			}
+			kb.Reset()
+			kb.WriteString(m.keyPrefix)
+			s.AppendKey(&kb, q)
+			// Singleflight build: concurrent misses on the same star key
+			// share one materialization instead of racing duplicates.
+			t = m.Cache.GetOrBuild(kb.String(), func() *StarTable {
+				return buildStarTable(m.G, q, s)
+			})
 		} else {
 			t = buildStarTable(m.G, q, s)
 		}

@@ -6,8 +6,8 @@
 package match
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"wqe/internal/graph"
@@ -123,15 +123,29 @@ func makeStar(q *query.Query, center query.NodeID) *StarQuery {
 // apply focus literals at read time, so rewrites differing only in
 // focus predicates share one table.
 func (s *StarQuery) Key(q *query.Query) string {
-	sig := func(u query.NodeID) string {
-		if u == q.Focus {
-			return q.Nodes[u].Label + "{*}"
-		}
-		return nodeSig(q, u)
-	}
 	var b strings.Builder
+	s.AppendKey(&b, q)
+	return b.String()
+}
+
+// AppendKey writes the structural cache key (see Key) into b. Match
+// builds one key per star per evaluation on the Q-Chase hot path;
+// appending into a caller-owned builder lets it prepend the graph
+// prefix without a second allocation pass.
+func (s *StarQuery) AppendKey(b *strings.Builder, q *query.Query) {
+	writeSig := func(u query.NodeID) {
+		if u == q.Focus {
+			b.WriteString(q.Nodes[u].Label)
+			b.WriteString("{*}")
+			return
+		}
+		writeNodeSig(b, q, u)
+	}
 	b.WriteString("c:")
-	b.WriteString(sig(s.Center))
+	writeSig(s.Center)
+	// Edge signatures must be order-insensitive (a cached table may come
+	// from a rewrite whose edges were ordered differently), so they are
+	// sorted before concatenation and need individual strings.
 	edges := make([]string, 0, len(s.Edges))
 	for _, e := range s.Edges {
 		edges = append(edges, edgeSig(q, e))
@@ -145,34 +159,62 @@ func (s *StarQuery) Key(q *query.Query) string {
 		b.WriteString("|C*")
 	}
 	if !s.HasFocus {
-		fmt.Fprintf(&b, "|aug:%d:%s", s.AugDist, sig(q.Focus))
+		b.WriteString("|aug:")
+		b.WriteString(strconv.Itoa(s.AugDist))
+		b.WriteByte(':')
+		writeSig(q.Focus)
 	}
-	return b.String()
 }
 
 // edgeSig encodes one star edge's structural signature: direction,
 // bound, and the non-center endpoint's matching signature (label-only
 // for the focus, which star tables store literal-agnostic).
 func edgeSig(q *query.Query, e StarEdge) string {
-	dir := "<"
+	var b strings.Builder
 	if e.Out {
-		dir = ">"
+		b.WriteByte('>')
+	} else {
+		b.WriteByte('<')
 	}
-	other := nodeSig(q, e.Other)
+	b.WriteString(strconv.Itoa(e.Bound))
 	if e.Other == q.Focus {
-		other = q.Nodes[e.Other].Label + "{*}"
+		b.WriteString(q.Nodes[e.Other].Label)
+		b.WriteString("{*}")
+	} else {
+		writeNodeSig(&b, q, e.Other)
 	}
-	return fmt.Sprintf("%s%d%s", dir, e.Bound, other)
+	return b.String()
 }
 
 // nodeSig encodes a pattern node's matching semantics: label plus
 // sorted literals.
 func nodeSig(q *query.Query, u query.NodeID) string {
+	var b strings.Builder
+	writeNodeSig(&b, q, u)
+	return b.String()
+}
+
+// writeNodeSig appends a pattern node's matching signature into b.
+func writeNodeSig(b *strings.Builder, q *query.Query, u query.NodeID) {
 	n := q.Nodes[u]
-	lits := make([]string, 0, len(n.Literals))
-	for _, l := range n.Literals {
-		lits = append(lits, l.String())
+	b.WriteString(n.Label)
+	b.WriteByte('{')
+	switch len(n.Literals) {
+	case 0:
+	case 1: // common case: skip the sort scaffolding
+		b.WriteString(n.Literals[0].String())
+	default:
+		lits := make([]string, 0, len(n.Literals))
+		for _, l := range n.Literals {
+			lits = append(lits, l.String())
+		}
+		sort.Strings(lits)
+		for i, l := range lits {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+		}
 	}
-	sort.Strings(lits)
-	return n.Label + "{" + strings.Join(lits, ",") + "}"
+	b.WriteByte('}')
 }
