@@ -8,7 +8,7 @@ GO ?= go
 # the race detector.
 RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par
 
-.PHONY: all build vet fmt-check test race lint bench-parallel ci
+.PHONY: all build vet fmt-check test race lint callgraph check bench-parallel ci
 
 all: build
 
@@ -34,9 +34,17 @@ race:
 lint:
 	$(GO) run ./cmd/wqe-lint ./...
 
+# Dump the module's static call graph (nodes, dispatch-kinded edges,
+# SCCs) — the substrate behind lockcheck and detsource.
+callgraph:
+	$(GO) run ./cmd/wqe-lint -callgraph
+
+# Everything a PR must pass, without the benchmark regeneration.
+check: build vet fmt-check test race lint
+
 # Regenerate BENCH_parallel.json: sequential vs parallel wall-clock of
 # the Q-Chase evaluation engine on the synthetic workload.
 bench-parallel:
 	WQE_BENCH_JSON=$(abspath BENCH_parallel.json) $(GO) test ./internal/chase -run TestEmitParallelBench -v
 
-ci: build vet fmt-check test race lint bench-parallel
+ci: check bench-parallel

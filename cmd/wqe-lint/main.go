@@ -1,17 +1,24 @@
 // Command wqe-lint runs the repo-specific static-analysis suite of
 // internal/lint over the module: mapiter (deterministic map iteration),
-// lockcheck (annotated mutex discipline), panicfree (no panics in
-// library code), floateq (no float ==/!= in ranking code), and gobound
-// (no goroutine spawns outside the internal/par worker pool).
+// lockcheck (interprocedural mutex discipline with witness chains),
+// detsource (no nondeterminism sources reachable from canonical-output
+// packages), errdrop (no silently discarded errors in internal
+// packages), panicfree (no panics in library code), floateq (no float
+// ==/!= in ranking code), and gobound (no goroutine spawns outside the
+// internal/par worker pool).
 //
 // Usage:
 //
-//	wqe-lint [-root dir] [-rules list] [patterns...]
+//	wqe-lint [-root dir] [-rules list] [-callgraph] [patterns...]
 //
 // Patterns select which packages findings are reported for: "./..."
 // (everything, the default), or directory paths like ./internal/chase.
 // The whole module is always loaded and type-checked regardless, since
-// lock annotations are collected module-wide.
+// lock annotations and the call graph are collected module-wide.
+//
+// -callgraph skips the analyzers and dumps the module's static call
+// graph (nodes, edges with dispatch kinds, SCCs) in its deterministic
+// text form, for debugging interprocedural findings.
 //
 // Output is one `file:line: rule: message` per finding; the exit status
 // is 1 when anything is reported, 2 on load errors.
@@ -20,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,23 +36,35 @@ import (
 )
 
 func main() {
-	root := flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
-	rules := flag.String("rules", "", "comma-separated analyzer names to run (default: all)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: wqe-lint [-root dir] [-rules list] [patterns...]\n\nAnalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, loads the module,
+// and prints findings (or the call graph) to stdout. Exit code 0 means
+// clean, 1 means findings, 2 means usage or load errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wqe-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	dumpCG := fs.Bool("callgraph", false, "dump the module call graph instead of linting")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: wqe-lint [-root dir] [-rules list] [-callgraph] [patterns...]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
-		flag.PrintDefaults()
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	dir := *root
 	if dir == "" {
 		var err error
 		dir, err = findModuleRoot()
 		if err != nil {
-			fail(err)
+			return fail(stderr, err)
 		}
 	}
 	// Findings carry absolute paths; the root must be absolute too so
@@ -55,29 +75,35 @@ func main() {
 
 	mod, err := lint.Load(dir)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
+	}
+
+	if *dumpCG {
+		fmt.Fprint(stdout, lint.CallGraphOf(mod).Dump())
+		return 0
 	}
 
 	analyzers, err := selectAnalyzers(*rules)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 
 	findings := lint.RunAll(mod, analyzers)
-	findings = filterByPatterns(mod, findings, flag.Args())
+	findings = filterByPatterns(mod, findings, fs.Args())
 
 	for _, f := range findings {
-		fmt.Println(rel(dir, f))
+		fmt.Fprintln(stdout, rel(dir, f))
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "wqe-lint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "wqe-lint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "wqe-lint:", err)
-	os.Exit(2)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "wqe-lint:", err)
+	return 2
 }
 
 // findModuleRoot walks up from the working directory to the nearest

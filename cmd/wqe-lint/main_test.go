@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// fixtureRoot is the lint package's marker-annotated fixture module —
+// the CLI test reuses it so the golden file and the marker corpus can
+// never drift apart silently.
+const fixtureRoot = "../../internal/lint/testdata/src"
+
+// runOnce invokes the CLI entry point and returns stdout, stderr, and
+// the exit code.
+func runOnce(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+// TestGoldenFixture pins the exact end-to-end findings text over the
+// fixture module, and that two consecutive runs are byte-identical —
+// the determinism contract CI relies on.
+func TestGoldenFixture(t *testing.T) {
+	out1, errText, code := runOnce(t, "-root", fixtureRoot)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present); stderr:\n%s", code, errText)
+	}
+	if !strings.Contains(errText, "finding(s)") {
+		t.Errorf("stderr should carry the findings summary, got %q", errText)
+	}
+
+	golden := filepath.Join("testdata", "fixture.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out1), 0o644); err != nil {
+			t.Fatalf("updating golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if out1 != string(want) {
+		t.Errorf("output differs from %s (rerun with -update after intended changes):\ngot:\n%s\nwant:\n%s", golden, out1, want)
+	}
+
+	out2, _, code2 := runOnce(t, "-root", fixtureRoot)
+	if code2 != 1 || out2 != out1 {
+		t.Errorf("second run differs (code %d): the findings stream must be byte-identical across runs", code2)
+	}
+}
+
+// TestCleanModule pins exit 0 and empty output on a module with no
+// findings.
+func TestCleanModule(t *testing.T) {
+	out, errText, code := runOnce(t, "-root", filepath.Join("testdata", "clean"))
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errText)
+	}
+	if out != "" {
+		t.Errorf("clean module should print nothing, got:\n%s", out)
+	}
+}
+
+// TestLoadError pins exit 2 when the root is not a module.
+func TestLoadError(t *testing.T) {
+	_, errText, code := runOnce(t, "-root", t.TempDir())
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, errText)
+	}
+	if !strings.Contains(errText, "wqe-lint:") {
+		t.Errorf("load errors must be reported on stderr, got %q", errText)
+	}
+}
+
+// TestBadRule pins exit 2 on an unknown -rules entry.
+func TestBadRule(t *testing.T) {
+	_, errText, code := runOnce(t, "-root", fixtureRoot, "-rules", "nosuchrule")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, errText)
+	}
+	if !strings.Contains(errText, "nosuchrule") {
+		t.Errorf("error should name the unknown rule, got %q", errText)
+	}
+}
+
+// TestPatternFilter pins that positional patterns narrow the report
+// without changing what is analyzed.
+func TestPatternFilter(t *testing.T) {
+	out, _, code := runOnce(t, "-root", fixtureRoot, "./det/...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "det/") {
+			t.Errorf("pattern ./det/... leaked a foreign finding: %s", line)
+		}
+	}
+	// The interprocedural chain from chase into det must survive the
+	// filter: analysis is module-wide even when reporting is narrowed.
+	if !strings.Contains(out, "chase.Pipeline → det.Hop1 → det.Hop2") {
+		t.Errorf("expected the cross-package witness chain in filtered output:\n%s", out)
+	}
+}
+
+// TestCallgraphDump pins the -callgraph mode: deterministic across
+// runs, exit 0, and containing a known cross-package edge.
+func TestCallgraphDump(t *testing.T) {
+	out1, _, code := runOnce(t, "-root", fixtureRoot, "-callgraph")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	out2, _, _ := runOnce(t, "-root", fixtureRoot, "-callgraph")
+	if out1 != out2 {
+		t.Error("call-graph dump must be byte-identical across runs")
+	}
+	if !strings.HasPrefix(out1, "callgraph:") {
+		t.Errorf("dump should open with the summary header, got:\n%.120s", out1)
+	}
+	if !strings.Contains(out1, "det.Hop1\n  -> det.Hop2 [static]") {
+		t.Errorf("dump missing expected static edge stanza:\n%.400s", out1)
+	}
+}

@@ -1,0 +1,16 @@
+// Package ok violates no lint rule; the clean module pins wqe-lint's
+// exit-0 path.
+package ok
+
+import "sort"
+
+// Keys returns the map's keys in sorted order — the collect-then-sort
+// idiom every analyzer is happy with.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -263,7 +263,8 @@ type Table struct {
 
 // Fprint renders the table with aligned columns.
 func (t *Table) Fprint(w io.Writer) {
-	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	var out strings.Builder
+	fmt.Fprintf(&out, "%s — %s\n", t.ID, t.Title)
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
@@ -286,13 +287,15 @@ func (t *Table) Fprint(w io.Writer) {
 				b.WriteByte(' ')
 			}
 		}
-		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		fmt.Fprintln(&out, strings.TrimRight(b.String(), " "))
 	}
 	line(t.Header)
 	for _, row := range t.Rows {
 		line(row)
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(&out)
+	//lint:ignore errdrop table rendering is best-effort console output
+	io.WriteString(w, out.String())
 }
 
 func secs(d time.Duration) string { return fmt.Sprintf("%.3fs", d.Seconds()) }

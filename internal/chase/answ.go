@@ -193,7 +193,7 @@ func (w *Why) TopK(k int) []Answer {
 	if k < 1 {
 		k = 1
 	}
-	start := time.Now()
+	start := w.clock()
 	w.beginRun()
 	defer w.endRun(start)
 	workers := w.workers()

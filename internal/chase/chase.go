@@ -236,7 +236,8 @@ func NewWhy(g *graph.Graph, q *query.Query, e *exemplar.Exemplar, cfg Config) (*
 		params:       ops.Params{MaxBound: cfg.MaxBound},
 		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
 		partnerCache: map[partnerCacheKey][]graph.NodeID{},
-		clock:        time.Now,
+		//lint:ignore detsource injectable-clock default; only TimeLimit cutoffs and Elapsed stats read it, never ranking
+		clock: time.Now,
 	}
 	// Warm the graph's lazy caches so concurrent Why-questions over the
 	// same graph stay race-free.

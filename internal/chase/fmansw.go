@@ -2,7 +2,6 @@ package chase
 
 import (
 	"sort"
-	"time"
 
 	"wqe/internal/graph"
 	"wqe/internal/query"
@@ -17,7 +16,7 @@ import (
 // queries rather than rewrites (Ops is empty) and serves as the slow,
 // example-agnostic baseline.
 func (w *Why) FMAnsW() Answer {
-	start := time.Now()
+	start := w.clock()
 	w.beginRun()
 	defer w.endRun(start)
 

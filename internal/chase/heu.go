@@ -56,7 +56,7 @@ func (w *Why) beamSearch(beam int, random bool) Answer {
 	if beam < 1 {
 		beam = 1
 	}
-	start := time.Now()
+	start := w.clock()
 	w.beginRun()
 	defer w.endRun(start)
 

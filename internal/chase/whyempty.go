@@ -2,7 +2,6 @@ package chase
 
 import (
 	"sort"
-	"time"
 
 	"wqe/internal/graph"
 	"wqe/internal/ops"
@@ -22,7 +21,7 @@ import (
 // star queries exactly; for deeper shapes the chosen rewrite is
 // verified by evaluation and the next candidate is tried on failure.
 func (w *Why) AnsWE() Answer {
-	start := time.Now()
+	start := w.clock()
 	w.beginRun()
 	defer w.endRun(start)
 

@@ -1,8 +1,6 @@
 package chase
 
 import (
-	"time"
-
 	"wqe/internal/graph"
 	"wqe/internal/match"
 	"wqe/internal/ops"
@@ -16,7 +14,7 @@ import (
 // a greedy budgeted weighted set-cover over seed operators (SeedRf) and
 // carries the fixed-parameter ½(1−1/e) approximation of Theorem 6.1.
 func (w *Why) ApxWhyM() Answer {
-	start := time.Now()
+	start := w.clock()
 	w.beginRun()
 	defer w.endRun(start)
 

@@ -97,6 +97,7 @@ func (g *Graph) buildDomainsLocked() {
 			}
 		}
 	}
+	//lint:ignore detsource each domain's values are sorted independently; visit order cannot matter
 	for _, d := range doms {
 		sort.Slice(d.Values, func(i, j int) bool {
 			return d.Values[i].Compare(d.Values[j]) < 0

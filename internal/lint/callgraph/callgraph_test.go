@@ -1,0 +1,265 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// load type-checks one synthetic package per (name, source) pair, in
+// order, resolving earlier packages as imports of later ones, and
+// returns the callgraph input.
+func load(t *testing.T, fset *token.FileSet, srcs [][2]string) []Package {
+	t.Helper()
+	local := make(map[string]*types.Package)
+	imp := testImporter{local: local, fallback: importer.ForCompiler(fset, "source", nil)}
+	var pkgs []Package
+	for _, s := range srcs {
+		name, src := s[0], s[1]
+		file, err := parser.ParseFile(fset, name+".go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(name, fset, []*ast.File{file}, info)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", name, err)
+		}
+		local[name] = tpkg
+		pkgs = append(pkgs, Package{Path: name, Name: tpkg.Name(), Files: []*ast.File{file}, Info: info})
+	}
+	return pkgs
+}
+
+type testImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (im testImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.local[path]; ok {
+		return p, nil
+	}
+	return im.fallback.Import(path)
+}
+
+func build(t *testing.T, srcs [][2]string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	return Build(fset, load(t, fset, srcs))
+}
+
+func (g *Graph) node(t *testing.T, id string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	t.Fatalf("node %q not in graph; have %v", id, ids(g.Nodes))
+	return nil
+}
+
+func ids(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.ID
+	}
+	return out
+}
+
+func hasEdge(n *Node, calleeID string, kind Kind) bool {
+	for _, e := range n.Out {
+		if e.Callee.ID == calleeID && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+const basicSrc = `package basic
+
+type T struct{ n int }
+
+func (t *T) Method() int { return Helper() }
+
+func Helper() int { return 1 }
+
+func Entry() int {
+	var t T
+	return t.Method()
+}
+
+func Closure() func() int {
+	return func() int { return Helper() }
+}
+`
+
+func TestStaticEdges(t *testing.T) {
+	g := build(t, [][2]string{{"basic", basicSrc}})
+	entry := g.node(t, "basic.Entry")
+	if !hasEdge(entry, "basic.(*T).Method", Static) {
+		t.Errorf("Entry should call (*T).Method statically; edges: %v", dumpEdges(entry))
+	}
+	method := g.node(t, "basic.(*T).Method")
+	if !hasEdge(method, "basic.Helper", Static) {
+		t.Errorf("(*T).Method should call Helper statically; edges: %v", dumpEdges(method))
+	}
+	// The closure's call is attributed to the declaring function.
+	cl := g.node(t, "basic.Closure")
+	if !hasEdge(cl, "basic.Helper", Static) {
+		t.Errorf("Closure body calls should belong to Closure; edges: %v", dumpEdges(cl))
+	}
+}
+
+func dumpEdges(n *Node) []string {
+	var out []string
+	for _, e := range n.Out {
+		out = append(out, e.Callee.ID+"["+e.Kind.String()+"]")
+	}
+	return out
+}
+
+const ifaceSrc = `package iface
+
+type Runner interface{ Run() int }
+
+type A struct{}
+func (A) Run() int { return 1 }
+
+type B struct{}
+func (*B) Run() int { return 2 }
+
+type C struct{}
+func (C) Walk() int { return 3 }
+
+func Drive(r Runner) int { return r.Run() }
+`
+
+func TestInterfaceEdges(t *testing.T) {
+	g := build(t, [][2]string{{"iface", ifaceSrc}})
+	drive := g.node(t, "iface.Drive")
+	if !hasEdge(drive, "iface.(A).Run", Interface) {
+		t.Errorf("Drive should link to value-receiver impl A.Run; edges: %v", dumpEdges(drive))
+	}
+	if !hasEdge(drive, "iface.(*B).Run", Interface) {
+		t.Errorf("Drive should link to pointer-receiver impl (*B).Run; edges: %v", dumpEdges(drive))
+	}
+	if hasEdge(drive, "iface.(C).Walk", Interface) {
+		t.Errorf("Drive must not link to a method that is not in the interface")
+	}
+}
+
+const dynamicSrc = `package dyn
+
+func Target() int { return 1 }
+func Decoy(x int) int { return x }
+func Unreferenced() int { return 2 }
+
+func Apply(f func() int) int { return f() }
+
+func Entry() int { return Apply(Target) }
+`
+
+func TestDynamicEdges(t *testing.T) {
+	g := build(t, [][2]string{{"dyn", dynamicSrc}})
+	if !g.node(t, "dyn.Target").AddrTaken {
+		t.Error("Target is passed as a value and must be addr-taken")
+	}
+	if g.node(t, "dyn.Unreferenced").AddrTaken {
+		t.Error("Unreferenced must not be addr-taken")
+	}
+	apply := g.node(t, "dyn.Apply")
+	if !hasEdge(apply, "dyn.Target", Dynamic) {
+		t.Errorf("Apply's f() should link to the addr-taken, signature-identical Target; edges: %v", dumpEdges(apply))
+	}
+	if hasEdge(apply, "dyn.Decoy", Dynamic) {
+		t.Error("Apply must not link to Decoy: its signature differs")
+	}
+	if hasEdge(apply, "dyn.Unreferenced", Dynamic) {
+		t.Error("Apply must not link to Unreferenced: its address never escapes")
+	}
+}
+
+const crossSrc1 = `package low
+
+func Leaf() int { return 1 }
+`
+
+const crossSrc2 = `package high
+
+import "low"
+
+func Call() int { return low.Leaf() }
+`
+
+func TestCrossPackageEdges(t *testing.T) {
+	g := build(t, [][2]string{{"low", crossSrc1}, {"high", crossSrc2}})
+	call := g.node(t, "high.Call")
+	if !hasEdge(call, "low.Leaf", Static) {
+		t.Errorf("cross-package call should resolve statically; edges: %v", dumpEdges(call))
+	}
+}
+
+const sccSrc = `package rec
+
+func A() { B() }
+func B() { A() }
+func C() { A() }
+func Lone() {}
+`
+
+func TestSCCsCalleesFirst(t *testing.T) {
+	g := build(t, [][2]string{{"rec", sccSrc}})
+	sccs := g.SCCs()
+	pos := make(map[string]int)
+	for i, comp := range sccs {
+		for _, n := range comp {
+			pos[n.ID] = i
+		}
+	}
+	if pos["rec.A"] != pos["rec.B"] {
+		t.Errorf("A and B are mutually recursive and must share a component")
+	}
+	if pos["rec.C"] <= pos["rec.A"] {
+		t.Errorf("caller C (comp %d) must come after callee component of A (comp %d)", pos["rec.C"], pos["rec.A"])
+	}
+}
+
+func TestReachableFromWitnessPath(t *testing.T) {
+	g := build(t, [][2]string{{"low", crossSrc1}, {"high", crossSrc2}})
+	call := g.node(t, "high.Call")
+	leaf := g.node(t, "low.Leaf")
+	parent := g.ReachableFrom([]*Node{call})
+	path := PathTo(parent, leaf)
+	if len(path) != 2 || path[0] != call || path[1] != leaf {
+		t.Errorf("witness path = %v, want [high.Call low.Leaf]", ids(path))
+	}
+	if PathTo(parent, call) == nil {
+		t.Error("a root must be reachable from itself")
+	}
+}
+
+// TestDumpDeterministic pins the byte-identical-output contract: two
+// independent builds over the same sources dump identically.
+func TestDumpDeterministic(t *testing.T) {
+	srcs := [][2]string{{"low", crossSrc1}, {"high", crossSrc2}, {"rec", sccSrc}, {"iface", ifaceSrc}}
+	d1 := build(t, srcs).Dump()
+	d2 := build(t, srcs).Dump()
+	if d1 != d2 {
+		t.Errorf("dump differs between builds:\n--- first\n%s\n--- second\n%s", d1, d2)
+	}
+	if !strings.Contains(d1, "high.Call\n  -> low.Leaf [static]") {
+		t.Errorf("dump missing expected edge stanza:\n%s", d1)
+	}
+}

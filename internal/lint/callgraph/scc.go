@@ -1,0 +1,70 @@
+package callgraph
+
+import "sort"
+
+// SCCs returns the strongly connected components of the call graph in
+// callees-first order: by the time a component is emitted, every
+// component it calls into has already been emitted. Interprocedural
+// analyses exploit this directly — process components in slice order
+// and each function's callees already carry their final summaries
+// (iterating to a local fixpoint inside cyclic components).
+//
+// The result is deterministic: Tarjan's algorithm is driven off the
+// sorted node list and sorted out-edges, and each component's nodes
+// are sorted by ID.
+func (g *Graph) SCCs() [][]*Node {
+	s := &sccState{
+		index:   make(map[*Node]int, len(g.Nodes)),
+		low:     make(map[*Node]int, len(g.Nodes)),
+		onStack: make(map[*Node]bool, len(g.Nodes)),
+	}
+	for _, n := range g.Nodes {
+		if _, seen := s.index[n]; !seen {
+			s.strongConnect(n)
+		}
+	}
+	return s.out
+}
+
+type sccState struct {
+	next    int
+	index   map[*Node]int
+	low     map[*Node]int
+	onStack map[*Node]bool
+	stack   []*Node
+	out     [][]*Node
+}
+
+func (s *sccState) strongConnect(n *Node) {
+	s.index[n] = s.next
+	s.low[n] = s.next
+	s.next++
+	s.stack = append(s.stack, n)
+	s.onStack[n] = true
+	for _, e := range n.Out {
+		m := e.Callee
+		if _, seen := s.index[m]; !seen {
+			s.strongConnect(m)
+			if s.low[m] < s.low[n] {
+				s.low[n] = s.low[m]
+			}
+		} else if s.onStack[m] && s.index[m] < s.low[n] {
+			s.low[n] = s.index[m]
+		}
+	}
+	if s.low[n] != s.index[n] {
+		return
+	}
+	var comp []*Node
+	for {
+		m := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		s.onStack[m] = false
+		comp = append(comp, m)
+		if m == n {
+			break
+		}
+	}
+	sort.Slice(comp, func(i, j int) bool { return comp[i].ID < comp[j].ID })
+	s.out = append(s.out, comp)
+}

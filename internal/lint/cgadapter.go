@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+
+	"wqe/internal/lint/callgraph"
+)
+
+// cgCache memoizes one call graph per loaded module. RunAll and the
+// CLI are single-threaded, so a plain map suffices (the same pattern
+// the per-analyzer fact caches use).
+var cgCache = map[*Module]*callgraph.Graph{}
+
+// CallGraphOf builds (once per module) the interprocedural call graph
+// shared by the lockcheck and detsource analyzers; cmd/wqe-lint's
+// -callgraph mode dumps it for debugging. Node IDs use module-relative
+// package paths so diagnostics stay short.
+func CallGraphOf(mod *Module) *callgraph.Graph {
+	if g, ok := cgCache[mod]; ok {
+		return g
+	}
+	pkgs := make([]callgraph.Package, 0, len(mod.Pkgs))
+	for _, p := range mod.Pkgs {
+		pkgs = append(pkgs, callgraph.Package{
+			Path:  displayPath(mod, p),
+			Name:  p.Name(),
+			Files: p.Files,
+			Info:  p.Info,
+		})
+	}
+	g := callgraph.Build(mod.Fset, pkgs)
+	cgCache[mod] = g
+	return g
+}
+
+// displayPath shortens a package import path to its module-relative
+// form ("wqe/internal/chase" → "internal/chase"); the root package is
+// shown by name.
+func displayPath(mod *Module, p *Package) string {
+	if p.PkgPath == mod.Path {
+		return p.Name()
+	}
+	return strings.TrimPrefix(p.PkgPath, mod.Path+"/")
+}
+
+// findingsIn returns the findings whose position falls inside the
+// given package's directory — how module-wide analyses split their
+// results back into the per-package Run contract.
+func findingsIn(all []Finding, pkg *Package) []Finding {
+	var out []Finding
+	for _, f := range all {
+		if filepath.Dir(f.Pos.Filename) == pkg.Dir {
+			out = append(out, f)
+		}
+	}
+	return out
+}

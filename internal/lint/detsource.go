@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"wqe/internal/lint/callgraph"
+)
+
+// DetSource returns the detsource analyzer: a taint-style reachability
+// check from canonical-output packages (query, ops, chase, exemplar) to
+// nondeterminism sources anywhere in the module.
+//
+// mapiter polices map ranges inside the canonical packages themselves;
+// detsource closes the interprocedural gap: a helper three calls away
+// that ranges a map, reads the wall clock, draws from the global
+// math/rand, or races a multi-way select still perturbs canonical
+// output, and each finding carries the witness call chain that proves
+// the reachability. Code not reachable from a canonical package is
+// deliberately left alone.
+func DetSource() *Analyzer {
+	facts := make(map[*Module][]Finding)
+	return &Analyzer{
+		Name: "detsource",
+		Doc:  "nondeterminism sources must not be reachable from canonical-output packages",
+		Run: func(mod *Module, pkg *Package) []Finding {
+			all, ok := facts[mod]
+			if !ok {
+				all = runDetSourceModule(mod)
+				facts[mod] = all
+			}
+			return findingsIn(all, pkg)
+		},
+	}
+}
+
+func runDetSourceModule(mod *Module) []Finding {
+	cg := CallGraphOf(mod)
+	var roots []*callgraph.Node
+	for _, n := range cg.Nodes {
+		if canonicalOutputPkgs[n.Pkg.Name] {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	parent := cg.ReachableFrom(roots)
+
+	var out []Finding
+	for _, n := range cg.Nodes {
+		if _, reachable := parent[n]; !reachable || n.Decl.Body == nil {
+			continue
+		}
+		via := pathDesc(callgraph.PathTo(parent, n))
+		out = append(out, scanDetSources(mod.Fset, n, via)...)
+	}
+	return out
+}
+
+// pathDesc renders a witness path for the diagnostic: the chain of
+// calls from a canonical-output package, or just the package when the
+// tainted function lives there directly.
+func pathDesc(path []*callgraph.Node) string {
+	if len(path) == 1 {
+		return fmt.Sprintf("in canonical-output package %s", path[0].Pkg.Name)
+	}
+	ids := make([]string, len(path))
+	for i, n := range path {
+		ids[i] = n.ID
+	}
+	return "reached from canonical output via " + strings.Join(ids, " → ")
+}
+
+// scanDetSources walks one reachable function body for the four source
+// kinds. Map ranges inside canonical packages are mapiter's to report;
+// everything else is flagged here regardless of package.
+func scanDetSources(fset *token.FileSet, n *callgraph.Node, via string) []Finding {
+	var out []Finding
+	info := n.Pkg.Info
+	canonical := canonicalOutputPkgs[n.Pkg.Name]
+	ast.Inspect(n.Decl, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.RangeStmt:
+			if canonical {
+				return true
+			}
+			t := info.TypeOf(node.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectOnlyBody(info, node) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(node.Pos()),
+				Rule: "detsource",
+				Msg: fmt.Sprintf("range over map has nondeterministic order, %s; "+
+					"collect keys and sort them first, or //lint:ignore detsource <reason>", via),
+			})
+		case *ast.SelectorExpr:
+			pkgPath, name, ok := stdlibUse(info, node)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgPath == "time" && name == "Now":
+				out = append(out, Finding{
+					Pos:  fset.Position(node.Pos()),
+					Rule: "detsource",
+					Msg: fmt.Sprintf("time.Now reads the wall clock, %s; "+
+						"inject a clock, or //lint:ignore detsource <reason>", via),
+				})
+			case pkgPath == "math/rand" && name != "New" && name != "NewSource":
+				out = append(out, Finding{
+					Pos:  fset.Position(node.Pos()),
+					Rule: "detsource",
+					Msg: fmt.Sprintf("math/rand.%s draws from the global random source, %s; "+
+						"use rand.New(rand.NewSource(seed)), or //lint:ignore detsource <reason>", name, via),
+				})
+			}
+		case *ast.SelectStmt:
+			if len(node.Body.List) < 2 {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(node.Pos()),
+				Rule: "detsource",
+				Msg: fmt.Sprintf("select with multiple cases picks a ready case at random, %s; "+
+					"restructure, or //lint:ignore detsource <reason>", via),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// stdlibUse resolves a selector to (package path, name) when it names a
+// package-level function or value of an imported package.
+func stdlibUse(info *types.Info, sel *ast.SelectorExpr) (string, string, bool) {
+	if _, isMethod := info.Selections[sel]; isMethod {
+		return "", "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}

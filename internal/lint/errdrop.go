@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop returns the errdrop analyzer: it flags silently discarded
+// error returns in internal packages — a bare call statement whose
+// result includes an error, and `_ =`/`v, _ :=` assignments that blank
+// an error-typed result.
+//
+// Methods on strings.Builder and bytes.Buffer (and fmt.Fprint* writing
+// into one) are documented never to fail and are exempt. A drop that is
+// genuinely intended gets a `//lint:ignore errdrop <reason>`.
+func ErrDrop() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "error returns in internal packages must be handled, not discarded",
+		Applies: func(pkg *Package) bool {
+			return pkg.Name() != "main" && isInternalPath(pkg.PkgPath)
+		},
+		Run: runErrDrop,
+	}
+}
+
+func isInternalPath(path string) bool {
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+func runErrDrop(mod *Module, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				// A deferred best-effort cleanup (Close, Unlock) is the
+				// one idiomatic place to drop an error.
+				return false
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok || neverFails(pkg.Info, call) {
+					return true
+				}
+				if desc, ok := droppedError(pkg.Info, call); ok {
+					out = append(out, Finding{
+						Pos:  pkg.Fset.Position(call.Pos()),
+						Rule: "errdrop",
+						Msg: fmt.Sprintf("result of %s includes an error that is silently discarded; "+
+							"handle it or //lint:ignore errdrop <reason>", desc),
+					})
+				}
+			case *ast.AssignStmt:
+				out = append(out, blankedErrors(pkg, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// droppedError reports whether the call returns an error (alone or as
+// the trailing element of a tuple) and renders the callee for the
+// message.
+func droppedError(info *types.Info, call *ast.CallExpr) (string, bool) {
+	t := info.TypeOf(call)
+	if t == nil {
+		return "", false
+	}
+	errish := false
+	switch t := t.(type) {
+	case *types.Tuple:
+		errish = t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		errish = isErrorType(t)
+	}
+	if !errish {
+		return "", false
+	}
+	return calleeDesc(call), true
+}
+
+// blankedErrors flags `_` targets bound to error-typed call results.
+func blankedErrors(pkg *Package, as *ast.AssignStmt) []Finding {
+	var out []Finding
+	flag := func(pos ast.Node, call *ast.CallExpr) {
+		if neverFails(pkg.Info, call) {
+			return
+		}
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(pos.Pos()),
+			Rule: "errdrop",
+			Msg: fmt.Sprintf("error from %s is assigned to _; "+
+				"handle it or //lint:ignore errdrop <reason>", calleeDesc(call)),
+		})
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// v, _ := f()
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tuple, ok := pkg.Info.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return nil
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				flag(lhs, call)
+			}
+		}
+		return out
+	}
+	if len(as.Rhs) != len(as.Lhs) {
+		return nil
+	}
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		call, ok := as.Rhs[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if t := pkg.Info.TypeOf(call); t != nil && isErrorType(t) {
+			flag(lhs, call)
+		}
+	}
+	return out
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// neverFails recognizes error returns documented to always be nil:
+// methods on strings.Builder / bytes.Buffer, and fmt.Fprint* targeting
+// one of those as the writer.
+func neverFails(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if selection, isMethod := info.Selections[sel]; isMethod {
+		return isBuilderOrBuffer(selection.Recv())
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" ||
+		!strings.HasPrefix(obj.Name(), "Fprint") || len(call.Args) == 0 {
+		return false
+	}
+	if t := info.TypeOf(call.Args[0]); t != nil {
+		return isBuilderOrBuffer(t)
+	}
+	return false
+}
+
+func isBuilderOrBuffer(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path, name := obj.Pkg().Path(), obj.Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}
+
+// calleeDesc renders the called function compactly for diagnostics.
+func calleeDesc(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

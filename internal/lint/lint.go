@@ -1,16 +1,27 @@
 // Package lint implements wqe's repo-specific static-analysis suite
 // using only the standard library's go/parser, go/ast, and go/types.
 //
-// Five analyzers enforce the invariants the paper's algorithms depend
-// on for reproducible output:
+// Seven analyzers enforce the invariants the paper's algorithms depend
+// on for reproducible output. The interprocedural ones (lockcheck,
+// detsource) share a module-wide static call graph built by
+// internal/lint/callgraph:
 //
 //   - mapiter: no raw `for range` over maps in canonical-output
 //     packages (query, ops, chase, exemplar) — Go randomizes map
 //     iteration order, which silently breaks tie-broken top-k ranking;
 //     collect keys and sort them first.
-//   - lockcheck: struct fields annotated `// guarded by <mu>` must only
-//     be accessed with that mutex held in the same function (or from a
-//     function whose name ends in "Locked").
+//   - lockcheck: struct fields annotated `// guarded by <mu>` must be
+//     reached only on call paths that hold the mutex. Per-function
+//     lock summaries propagate along the call graph, so helpers that
+//     rely on the caller's lock are verified rather than name-trusted;
+//     findings carry the witness call chain, double acquisition is
+//     reported as a potential deadlock, and *Locked functions never
+//     called under a lock are flagged as dead annotations.
+//   - detsource: nondeterminism sources (raw map range, time.Now,
+//     global math/rand, multi-way select) must not be reachable from
+//     canonical-output packages, along any call chain.
+//   - errdrop: internal packages must not silently discard error
+//     returns (`_ =` or bare call statements).
 //   - panicfree: library code must not panic; only functions whose doc
 //     comment carries an `invariant:` marker may, to assert genuinely
 //     unreachable states.
@@ -59,6 +70,8 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapIter(),
 		LockCheck(),
+		DetSource(),
+		ErrDrop(),
 		PanicFree(),
 		FloatEq(),
 		GoBound(),

@@ -8,7 +8,10 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"sort"
 	"strings"
+
+	"wqe/internal/lint/callgraph"
 )
 
 // guardedRe matches the field annotation the analyzer enforces:
@@ -16,28 +19,43 @@ import (
 //	entries map[string]*entry // guarded by mu
 var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
 
-// LockCheck returns the lockcheck analyzer: any access to a struct
-// field annotated `// guarded by <mu>` must appear after a
-// `<base>.<mu>.Lock()` (or RLock) call in the same function, unless the
-// function's name ends in "Locked" (the caller-holds-the-lock
-// convention) or the access carries a lint:ignore directive.
+// LockCheck returns the interprocedural lockcheck analyzer (v2).
 //
-// The check is intraprocedural and lexical: it does not track Unlock or
-// aliasing. It exists to catch the common mistake — touching shared
-// cache state in a new method without taking the mutex — not to prove
-// the locking protocol correct (that is what `go test -race` is for).
+// Fields annotated `// guarded by <mu>` must be reached only on call
+// paths that hold the mutex. Unlike v1 — which trusted any function
+// named *Locked and only saw same-function Lock() calls — v2 computes
+// a per-function summary ("this method needs <recv>.mu held at entry",
+// "this method acquires <recv>.mu") and propagates it along the module
+// call graph, callees first over the SCC condensation:
+//
+//   - A helper that touches a guarded field through its receiver
+//     without locking is accepted when every caller holds the mutex at
+//     the callsite — verified, not name-trusted.
+//   - A call path that reaches a guarded access with the lock never
+//     taken is reported once, with the witness chain (a → b → c) in
+//     the message.
+//   - Calling a method that (transitively) acquires a mutex while
+//     already holding it is reported as a potential deadlock, with the
+//     chain to the re-acquisition.
+//   - A *Locked-suffixed function that is never called with any lock
+//     held is reported as a dead or misleading annotation.
+//
+// The intra-function lock test remains lexical (a Lock/RLock on the
+// same base earlier in the body); the analyzer catches protocol
+// violations across functions, `go test -race` still proves the
+// protocol dynamically.
 func LockCheck() *Analyzer {
-	facts := make(map[*Module]map[types.Object]string)
+	facts := make(map[*Module][]Finding)
 	return &Analyzer{
 		Name: "lockcheck",
-		Doc:  "accesses to `guarded by` fields must hold the named mutex",
+		Doc:  "accesses to `guarded by` fields must hold the named mutex on every call path",
 		Run: func(mod *Module, pkg *Package) []Finding {
-			guarded, ok := facts[mod]
+			all, ok := facts[mod]
 			if !ok {
-				guarded = collectGuarded(mod)
-				facts[mod] = guarded
+				all = runLockCheckModule(mod)
+				facts[mod] = all
 			}
-			return runLockCheck(pkg, guarded)
+			return findingsIn(all, pkg)
 		},
 	}
 }
@@ -85,63 +103,343 @@ func guardAnnotation(fld *ast.Field) string {
 	return ""
 }
 
-func runLockCheck(pkg *Package, guarded map[types.Object]string) []Finding {
+// lockReq records that a function needs <recv>.<mu> held at entry,
+// with the witness chain from the function down to the access that
+// created the requirement.
+type lockReq struct {
+	mu         string
+	chain      []string // node IDs, this function first, access function last
+	accessPos  token.Pos
+	accessDesc string // "c.entries"
+}
+
+// lockAcq records that a function acquires <recv>.<mu> on some path,
+// directly or through a same-receiver callee.
+type lockAcq struct {
+	mu    string
+	chain []string // node IDs down to the function holding the Lock call
+}
+
+// lockCall is one statically resolved callsite inside a function.
+type lockCall struct {
+	callee *callgraph.Node
+	base   string // rendered receiver expression; "" for plain calls
+	pos    token.Pos
+}
+
+// lockSummary is the per-function state the propagation works on.
+type lockSummary struct {
+	node     *callgraph.Node
+	recvName string
+	locked   bool // name carries the *Locked caller-holds convention
+	requires map[string]*lockReq
+	acquires map[string]*lockAcq
+	calls    []lockCall
+	// called/heldCalled feed the dead-annotation check: heldCalled is
+	// set when some callsite runs with a lock held or hands the
+	// obligation further up the chain.
+	called     bool
+	heldCalled bool
+}
+
+func runLockCheckModule(mod *Module) []Finding {
+	guarded := collectGuarded(mod)
 	if len(guarded) == 0 {
 		return nil
 	}
-	var out []Finding
-	for _, file := range pkg.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+	cg := CallGraphOf(mod)
+	sums := make(map[*callgraph.Node]*lockSummary, len(cg.Nodes))
+
+	var findings []Finding
+
+	// Local pass: per-function accesses, acquisitions, callsites.
+	for _, n := range cg.Nodes {
+		s := newLockSummary(mod.Fset, n)
+		sums[n] = s
+		if n.Decl.Body == nil {
+			continue
+		}
+		findings = append(findings, s.localPass(mod.Fset, n.Pkg.Info, guarded)...)
+	}
+
+	// Propagation: callees first over the SCC condensation; cyclic
+	// components iterate to a fixpoint.
+	for _, comp := range cg.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				if sums[n].propagate(mod.Fset, sums) {
+					changed = true
+				}
 			}
-			if strings.HasSuffix(fd.Name.Name, "Locked") {
-				continue
-			}
-			out = append(out, checkFuncLocks(pkg, fd, guarded)...)
 		}
 	}
-	return out
+
+	// Emission: callsite violations, unlocked-entry chains, deadlock
+	// candidates, dead annotations — in deterministic graph order.
+	for _, n := range cg.Nodes {
+		findings = append(findings, sums[n].emit(mod.Fset, sums)...)
+	}
+	return findings
 }
 
-// checkFuncLocks reports guarded-field accesses in one function that
-// are not lexically preceded by a matching Lock/RLock call.
-func checkFuncLocks(pkg *Package, fd *ast.FuncDecl, guarded map[types.Object]string) []Finding {
+func newLockSummary(fset *token.FileSet, n *callgraph.Node) *lockSummary {
+	s := &lockSummary{
+		node:     n,
+		locked:   strings.HasSuffix(n.Decl.Name.Name, "Locked"),
+		requires: map[string]*lockReq{},
+		acquires: map[string]*lockAcq{},
+	}
+	if n.Decl.Recv != nil && len(n.Decl.Recv.List) == 1 && len(n.Decl.Recv.List[0].Names) == 1 {
+		s.recvName = n.Decl.Recv.List[0].Names[0].Name
+	}
+	for _, e := range n.Out {
+		if e.Kind != callgraph.Static {
+			continue
+		}
+		s.calls = append(s.calls, lockCall{
+			callee: e.Callee,
+			base:   callBase(fset, e.Site),
+			pos:    e.Pos,
+		})
+	}
+	return s
+}
+
+// callBase renders the receiver expression of a method callsite ("" for
+// plain function calls). Method expressions (T.M)(x, ...) take the
+// receiver from the first argument.
+func callBase(fset *token.FileSet, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return exprString(fset, sel.X)
+}
+
+// localPass classifies every guarded-field access of the function:
+// lexically protected (fine), receiver-based (becomes a requirement the
+// callers must discharge), or foreign-base unprotected (an immediate
+// finding, since no call-graph fact can establish a foreign lock).
+// It also records which receiver mutexes the function acquires.
+func (s *lockSummary) localPass(fset *token.FileSet, info *types.Info, guarded map[types.Object]string) []Finding {
+	fd := s.node.Decl
 	var out []Finding
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if base, mu, ok := lockAcquisition(fset, n); ok && s.recvName != "" && base == s.recvName {
+				if s.acquires[mu] == nil {
+					s.acquires[mu] = &lockAcq{mu: mu, chain: []string{s.node.ID}}
+				}
+			}
+		case *ast.SelectorExpr:
+			selection, ok := info.Selections[n]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			mu, ok := guarded[selection.Obj()]
+			if !ok {
+				return true
+			}
+			base := exprString(fset, n.X)
+			desc := base + "." + n.Sel.Name
+			if lockHeldBefore(fset, fd, base, mu, n.Pos()) {
+				return true
+			}
+			if s.recvName != "" && base == s.recvName {
+				if s.requires[mu] == nil {
+					s.requires[mu] = &lockReq{
+						mu:         mu,
+						chain:      []string{s.node.ID},
+						accessPos:  n.Pos(),
+						accessDesc: desc,
+					}
+				}
+				return true
+			}
+			if s.locked {
+				// A *Locked function touching guarded state through a
+				// parameter or field path keeps v1's trust: the call
+				// graph cannot bind a foreign base to a caller's lock.
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(n.Pos()),
+				Rule: "lockcheck",
+				Msg: fmt.Sprintf("%s is guarded by %s.%s, which is not held here "+
+					"(call %s.%s.Lock() first, or //lint:ignore lockcheck <reason>)",
+					desc, base, mu, base, mu),
+			})
 		}
-		selection, ok := pkg.Info.Selections[sel]
-		if !ok || selection.Kind() != types.FieldVal {
-			return true
-		}
-		mu, ok := guarded[selection.Obj()]
-		if !ok {
-			return true
-		}
-		base := exprString(pkg.Fset, sel.X)
-		if lockHeldBefore(pkg, fd, base, mu, sel.Pos()) {
-			return true
-		}
-		out = append(out, Finding{
-			Pos:  pkg.Fset.Position(sel.Pos()),
-			Rule: "lockcheck",
-			Msg: fmt.Sprintf("%s.%s is guarded by %s.%s, which is not held here "+
-				"(call %s.%s.Lock() first, suffix the function name with Locked, "+
-				"or //lint:ignore lockcheck <reason>)",
-				base, sel.Sel.Name, base, mu, base, mu),
-		})
 		return true
 	})
 	return out
 }
 
+// propagate folds callee summaries into this function: requirements a
+// callee imposes on a shared receiver bubble up when this function does
+// not discharge them, and so do transitive acquisitions (for deadlock
+// detection). Reports whether the summary changed.
+func (s *lockSummary) propagate(fset *token.FileSet, sums map[*callgraph.Node]*lockSummary) bool {
+	if s.node.Decl.Body == nil {
+		return false
+	}
+	fd := s.node.Decl
+	changed := false
+	for _, c := range s.calls {
+		cs := sums[c.callee]
+		if cs == nil {
+			continue
+		}
+		if !cs.called {
+			cs.called = true
+			changed = true
+		}
+		if !cs.heldCalled && (anyLockHeldBefore(fd, c.pos) ||
+			(s.recvName != "" && c.base == s.recvName)) {
+			cs.heldCalled = true
+			changed = true
+		}
+		if s.recvName == "" || c.base != s.recvName {
+			continue
+		}
+		for _, mu := range sortedKeys(cs.requires) {
+			if s.requires[mu] != nil || lockHeldBefore(fset, fd, c.base, mu, c.pos) {
+				continue
+			}
+			req := cs.requires[mu]
+			s.requires[mu] = &lockReq{
+				mu:         mu,
+				chain:      append([]string{s.node.ID}, req.chain...),
+				accessPos:  req.accessPos,
+				accessDesc: req.accessDesc,
+			}
+			changed = true
+		}
+		for _, mu := range sortedKeys(cs.acquires) {
+			if s.acquires[mu] != nil {
+				continue
+			}
+			s.acquires[mu] = &lockAcq{
+				mu:    mu,
+				chain: append([]string{s.node.ID}, cs.acquires[mu].chain...),
+			}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// emit produces this function's findings after propagation settled.
+func (s *lockSummary) emit(fset *token.FileSet, sums map[*callgraph.Node]*lockSummary) []Finding {
+	var out []Finding
+	fd := s.node.Decl
+	for _, c := range s.calls {
+		cs := sums[c.callee]
+		if cs == nil || c.base == "" {
+			continue
+		}
+		propagates := s.recvName != "" && c.base == s.recvName
+		for _, mu := range sortedKeys(cs.requires) {
+			held := lockHeldBefore(fset, fd, c.base, mu, c.pos)
+			if held || propagates {
+				continue
+			}
+			req := cs.requires[mu]
+			out = append(out, Finding{
+				Pos:  fset.Position(c.pos),
+				Rule: "lockcheck",
+				Msg: fmt.Sprintf("calling %s requires %s.%s held: it reaches %s via %s "+
+					"(call %s.%s.Lock() first, or //lint:ignore lockcheck <reason>)",
+					c.callee.ID, c.base, mu, req.accessDesc, chainString(req.chain),
+					c.base, mu),
+			})
+		}
+		for _, mu := range sortedKeys(cs.acquires) {
+			if !lockHeldBefore(fset, fd, c.base, mu, c.pos) {
+				continue
+			}
+			acq := cs.acquires[mu]
+			out = append(out, Finding{
+				Pos:  fset.Position(c.pos),
+				Rule: "lockcheck",
+				Msg: fmt.Sprintf("%s.%s is already held here, and %s acquires it again "+
+					"(via %s) — potential deadlock; restructure or //lint:ignore lockcheck <reason>",
+					c.base, mu, c.callee.ID, chainString(acq.chain)),
+			})
+		}
+	}
+	// A function whose requirement nobody can check — no module
+	// callers, no Locked contract — is an unlocked entry path.
+	if !s.locked && !s.called {
+		for _, mu := range sortedKeys(s.requires) {
+			req := s.requires[mu]
+			out = append(out, Finding{
+				Pos:  fset.Position(req.accessPos),
+				Rule: "lockcheck",
+				Msg: fmt.Sprintf("%s is guarded by %s, which is not held on the path %s "+
+					"(lock it, suffix the entry function with Locked, or //lint:ignore lockcheck <reason>)",
+					req.accessDesc, muDesc(req), chainString(req.chain)),
+			})
+		}
+	}
+	// Dead or misleading *Locked annotation: the suffix promises
+	// callers hold a lock, but no callsite ever does.
+	if s.locked && !s.heldCalled {
+		out = append(out, Finding{
+			Pos:  fset.Position(fd.Pos()),
+			Rule: "lockcheck",
+			Msg: fmt.Sprintf("%s has the Locked suffix but is never called with a lock held "+
+				"(dead or misleading annotation); lock in a caller, drop the suffix, "+
+				"or //lint:ignore lockcheck <reason>", s.node.ID),
+		})
+	}
+	return out
+}
+
+// muDesc renders the lock a requirement names, using the access's own
+// base so the message reads "c.n is guarded by c.mu".
+func muDesc(req *lockReq) string {
+	if i := strings.LastIndexByte(req.accessDesc, '.'); i >= 0 {
+		return req.accessDesc[:i] + "." + req.mu
+	}
+	return req.mu
+}
+
+func chainString(chain []string) string {
+	return strings.Join(chain, " → ")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// lockAcquisition decodes a `<base>.<mu>.Lock()` or RLock call into its
+// base expression and mutex name.
+func lockAcquisition(fset *token.FileSet, call *ast.CallExpr) (base, mu string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return "", "", false
+	}
+	muSel, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return exprString(fset, muSel.X), muSel.Sel.Name, true
+}
+
 // lockHeldBefore reports whether `<base>.<mu>.Lock()` or RLock appears
-// in fd's body lexically before pos.
-func lockHeldBefore(pkg *Package, fd *ast.FuncDecl, base, mu string, pos token.Pos) bool {
+// in fd's body lexically before pos. It deliberately ignores Unlock:
+// early-return branches make a lexical release scan unsound, so the
+// check stays the v1 approximation (the race detector owns the dynamic
+// protocol).
+func lockHeldBefore(fset *token.FileSet, fd *ast.FuncDecl, base, mu string, pos token.Pos) bool {
 	held := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if held {
@@ -151,15 +449,34 @@ func lockHeldBefore(pkg *Package, fd *ast.FuncDecl, base, mu string, pos token.P
 		if !ok || call.Pos() >= pos {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		b, m, ok := lockAcquisition(fset, call)
+		if ok && b == base && m == mu {
+			held = true
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// anyLockHeldBefore reports whether any mutex Lock/RLock call appears
+// lexically before pos — the loose test behind the dead-Locked-
+// annotation check.
+func anyLockHeldBefore(fd *ast.FuncDecl, pos token.Pos) bool {
+	if fd.Body == nil {
+		return false
+	}
+	held := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
 			return true
 		}
-		muSel, ok := sel.X.(*ast.SelectorExpr)
-		if !ok || muSel.Sel.Name != mu {
-			return true
-		}
-		if exprString(pkg.Fset, muSel.X) == base {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
 			held = true
 			return false
 		}

@@ -46,7 +46,7 @@ func runMapIter(mod *Module, pkg *Package) []Finding {
 			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if collectOnlyBody(pkg, rs) {
+			if collectOnlyBody(pkg.Info, rs) {
 				return true
 			}
 			out = append(out, Finding{
@@ -65,7 +65,7 @@ func runMapIter(mod *Module, pkg *Package) []Finding {
 // body only gathers the iteration variables into slices via append —
 // the first half of the collect-then-sort idiom, which is safe because
 // the subsequent sort re-establishes a canonical order.
-func collectOnlyBody(pkg *Package, rs *ast.RangeStmt) bool {
+func collectOnlyBody(info *types.Info, rs *ast.RangeStmt) bool {
 	if len(rs.Body.List) == 0 {
 		return false
 	}
@@ -82,7 +82,7 @@ func collectOnlyBody(pkg *Package, rs *ast.RangeStmt) bool {
 		if !ok || fn.Name != "append" {
 			return false
 		}
-		if obj := pkg.Info.Uses[fn]; obj != nil && obj != types.Universe.Lookup("append") {
+		if obj := info.Uses[fn]; obj != nil && obj != types.Universe.Lookup("append") {
 			return false
 		}
 	}

@@ -1,5 +1,9 @@
-// Package cache is a lint fixture for lockcheck: fields annotated
-// "guarded by <mu>" must only be touched with that mutex held.
+// Package cache is a lint fixture for lockcheck v2: fields annotated
+// "guarded by <mu>" must be reached only on call paths that hold the
+// mutex. Helpers relying on the caller's lock are verified through the
+// call graph, unlocked chains are reported with a witness path, double
+// acquisition is a potential deadlock, and a *Locked suffix that no
+// lock-holding caller justifies is a dead annotation.
 package cache
 
 import "sync"
@@ -17,14 +21,68 @@ func (c *Counter) Inc() {
 	c.n++
 }
 
-// Racy reads n without the lock: flagged.
+// Racy reads n without the lock and nobody locks for it: flagged at
+// the access, as an unlocked entry path.
 func (c *Counter) Racy() int {
 	return c.n // want lockcheck
 }
 
-// addLocked relies on the caller holding mu; the Locked suffix exempts
-// it from the intraprocedural check.
-func (c *Counter) addLocked(d int) {
+// get relies on its caller holding mu. No Locked suffix needed: the
+// call graph verifies that every caller locks first.
+func (c *Counter) get() int {
+	return c.n
+}
+
+// Get discharges get's requirement by locking at the callsite: clean.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.get()
+}
+
+// leaf/middle/Outer form a two-deep chain that never takes the lock;
+// the finding lands on the access with the full witness chain.
+func (c *Counter) leaf() int {
+	return c.n // want lockcheck
+}
+
+func (c *Counter) middle() int { return c.leaf() }
+
+// Outer is the unlocked entry point of the chain.
+func (c *Counter) Outer() int { return c.middle() }
+
+// DoubleLock holds mu and then calls Inc, which acquires it again:
+// flagged at the callsite as a potential deadlock.
+func (c *Counter) DoubleLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Inc() // want lockcheck
+}
+
+// incVia acquires mu only transitively, through Inc.
+func (c *Counter) incVia() { c.Inc() }
+
+// DoubleLockDeep re-acquires through the transitive chain: flagged.
+func (c *Counter) DoubleLockDeep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incVia() // want lockcheck
+}
+
+// bumpLocked keeps the v1 naming convention and is genuinely called
+// with the lock held: clean.
+func (c *Counter) bumpLocked() { c.n++ }
+
+// Bump justifies bumpLocked's suffix.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+// mergeLocked claims a caller-held lock but has no callers at all:
+// flagged as a dead or misleading annotation.
+func (c *Counter) mergeLocked(d int) { // want lockcheck
 	c.n += d
 }
 
@@ -32,6 +90,33 @@ func (c *Counter) addLocked(d int) {
 func (c *Counter) Snapshot() int {
 	//lint:ignore lockcheck fixture for the suppression path
 	return c.n
+}
+
+// drainLocked touches guarded state through a parameter; the call
+// graph cannot bind a foreign base to a caller's lock, so the Locked
+// suffix keeps its v1 trust.
+func drainLocked(c *Counter) int {
+	return c.n
+}
+
+// Drain holds the lock across the drainLocked call: clean, and the
+// callsite justifies drainLocked's suffix.
+func Drain(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return drainLocked(c)
+}
+
+// Reach touches guarded state through a parameter without the lock and
+// without the Locked contract: flagged at the access.
+func Reach(c *Counter) int {
+	return c.n // want lockcheck
+}
+
+// CallReach calls a lock-requiring method on a parameter without
+// locking: flagged at the callsite with the witness chain.
+func CallReach(c *Counter) int {
+	return c.leaf() // want lockcheck
 }
 
 // Pair has two names declared in one guarded field.

@@ -1,6 +1,33 @@
 // Package chase is a lint fixture: its name puts it in floateq's scope
-// (closeness and ranking code) as well as mapiter's.
+// (closeness and ranking code) as well as mapiter's, and makes it a
+// taint root for detsource — nondeterminism sources it can reach
+// through any call chain (see fixture/det) are flagged.
 package chase
+
+import (
+	"time"
+
+	"fixture/det"
+)
+
+// Pipeline hands ranking work to a helper package; detsource follows
+// the chain to the map range two hops down.
+func Pipeline(m map[string]int) int { return det.Hop1(m) }
+
+// Uses reaches each taint source in det; the findings land there.
+func Uses(a, b chan int) int64 {
+	det.Jitter()
+	det.Seeded(7)
+	det.Race(a, b)
+	det.Justified()
+	return det.Stamp()
+}
+
+// Clock reads the wall clock directly in a canonical-output package:
+// flagged in place.
+func Clock() int64 {
+	return time.Now().UnixNano() // want detsource
+}
 
 // Score compares closeness values with exact equality: flagged.
 func Score(a, b float64) bool {

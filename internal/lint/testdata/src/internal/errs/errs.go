@@ -1,0 +1,59 @@
+// Package errs is a lint fixture for errdrop: internal packages must
+// not silently discard error returns.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Bare drops the error by ignoring the whole result: flagged.
+func Bare() {
+	fallible() // want errdrop
+}
+
+// Blank assigns the error to the blank identifier: flagged.
+func Blank() {
+	_ = fallible() // want errdrop
+}
+
+// BlankPair blanks the error half of a tuple: flagged.
+func BlankPair() int {
+	v, _ := pair() // want errdrop
+	return v
+}
+
+// Handled checks the error: not flagged.
+func Handled() int {
+	v, err := pair()
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+// Builder writes to strings.Builder and fmt.Fprintf over it; both are
+// documented never to fail: not flagged.
+func Builder() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String()
+}
+
+// Deferred best-effort cleanup is the idiomatic place to drop an
+// error: not flagged.
+func Deferred() {
+	defer fallible()
+}
+
+// Suppressed documents an intentional fire-and-forget.
+func Suppressed() {
+	//lint:ignore errdrop fixture for the suppression path
+	fallible()
+}

@@ -31,3 +31,9 @@ func Suppressed() {
 	//lint:ignore panicfree fixture for the suppression path
 	panic("boom")
 }
+
+// DropOutsideInternal discards an error, but lib is not an internal
+// package, so errdrop does not apply here.
+func DropOutsideInternal() {
+	Quiet(false)
+}

@@ -160,6 +160,7 @@ func (c *Cache) putLocked(key string, t *StarTable) {
 		worstKey := ""
 		worst := 0.0
 		first := true
+		//lint:ignore detsource eviction scans the whole map and tie-breaks on smallest key, so order cannot matter
 		for k, e := range c.entries {
 			switch {
 			case first:
