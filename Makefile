@@ -4,11 +4,11 @@
 GO ?= go
 
 # Packages with shared mutable state (star-view cache, lazy graph
-# caches, chase sessions, the worker pool) that must stay clean under
-# the race detector.
-RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par
+# caches, chase sessions, the worker pool, parallel PLL construction)
+# that must stay clean under the race detector.
+RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par ./internal/distindex
 
-.PHONY: all build vet fmt-check test race lint callgraph check bench-parallel ci
+.PHONY: all build vet fmt-check test race lint callgraph check bench-parallel bench-batch ci
 
 all: build
 
@@ -47,4 +47,9 @@ check: build vet fmt-check test race lint
 bench-parallel:
 	WQE_BENCH_JSON=$(abspath BENCH_parallel.json) $(GO) test ./internal/chase -run TestEmitParallelBench -v
 
-ci: check bench-parallel
+# Regenerate BENCH_batch.json: cross-question batch throughput (AskAll
+# over one shared session) and sequential vs parallel PLL construction.
+bench-batch:
+	WQE_BATCH_BENCH_JSON=$(abspath BENCH_batch.json) $(GO) test ./internal/chase -run TestEmitBatchBench -v
+
+ci: check bench-parallel bench-batch

@@ -49,8 +49,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
 	dumpCG := fs.Bool("callgraph", false, "dump the module call graph instead of linting")
 	fs.Usage = func() {
+		//lint:ignore errdrop terminal output; a failed diagnostic write has no useful handler
 		fmt.Fprintf(stderr, "usage: wqe-lint [-root dir] [-rules list] [-callgraph] [patterns...]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
+			//lint:ignore errdrop terminal output; a failed diagnostic write has no useful handler
 			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
 		fs.PrintDefaults()
@@ -79,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *dumpCG {
+		//lint:ignore errdrop terminal output; a failed diagnostic write has no useful handler
 		fmt.Fprint(stdout, lint.CallGraphOf(mod).Dump())
 		return 0
 	}
@@ -92,9 +95,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	findings = filterByPatterns(mod, findings, fs.Args())
 
 	for _, f := range findings {
+		//lint:ignore errdrop terminal output; a failed diagnostic write has no useful handler
 		fmt.Fprintln(stdout, rel(dir, f))
 	}
 	if len(findings) > 0 {
+		//lint:ignore errdrop terminal output; a failed diagnostic write has no useful handler
 		fmt.Fprintf(stderr, "wqe-lint: %d finding(s)\n", len(findings))
 		return 1
 	}
@@ -102,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func fail(stderr io.Writer, err error) int {
+	//lint:ignore errdrop terminal output; a failed diagnostic write has no useful handler
 	fmt.Fprintln(stderr, "wqe-lint:", err)
 	return 2
 }

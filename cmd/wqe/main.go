@@ -5,10 +5,18 @@
 // table explaining every change.
 //
 //	wqe -graph g.json -query q.json -exemplar e.json -algo answ -budget 3
+//	wqe -graph g.json -batch jobs.json -workers 4   # batch of questions
 //	wqe -demo          # run the paper's Fig 1 cellphone example
 //
 // Algorithms: answ (exact anytime), topk, heu (beam search), whymany,
 // whyempty, fmansw (baseline).
+//
+// Batch mode answers many Why-questions concurrently over one shared
+// graph, star-view cache, and distance index. The jobs file is a JSON
+// array of {"query": path, "exemplar": path} objects, each optionally
+// carrying "beam", "max_steps", and "time_limit_ms" overrides; results
+// print in submission order and are identical to running the jobs one
+// at a time.
 package main
 
 import (
@@ -36,11 +44,20 @@ func main() {
 		lambda       = flag.Float64("lambda", 1, "irrelevant-match penalty λ")
 		maxBound     = flag.Int("maxbound", 3, "edge bound cap b_m")
 		demo         = flag.Bool("demo", false, "run the built-in Fig 1 example")
+		batchPath    = flag.String("batch", "", "jobs JSON file: answer a batch of Why-questions over one shared session")
+		workers      = flag.Int("workers", 0, "batch worker count (0 = one per logical CPU)")
 	)
 	flag.Parse()
 
-	if err := run(*graphPath, *queryPath, *exemplarPath, *algo, *k, *beam,
-		*budget, *theta, *lambda, *maxBound, *demo); err != nil {
+	var err error
+	if *batchPath != "" {
+		err = runBatch(*graphPath, *batchPath, *workers,
+			*budget, *theta, *lambda, *maxBound)
+	} else {
+		err = run(*graphPath, *queryPath, *exemplarPath, *algo, *k, *beam,
+			*budget, *theta, *lambda, *maxBound, *demo)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "wqe:", err)
 		os.Exit(1)
 	}

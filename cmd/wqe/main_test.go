@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -57,5 +58,67 @@ func TestRunFromFiles(t *testing.T) {
 	}
 	if err := run(filepath.Join(dir, "missing.json"), qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, false); err == nil {
 		t.Error("missing graph file must error")
+	}
+}
+
+// TestRunBatch exercises the batch mode end to end: a jobs file with
+// relative paths, mixed algorithms, per-job overrides, and a failing
+// job that must not disturb the others.
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	f := datagen.NewFig1()
+
+	write := func(name string, emit func(io.Writer) error) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		fh, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := emit(fh); err != nil {
+			t.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	gPath := write("g.json", f.G.WriteJSON)
+	write("q.json", f.Q.WriteJSON)
+	write("e.json", f.E.WriteJSON)
+
+	jobs := write("jobs.json", func(fh io.Writer) error {
+		_, err := io.WriteString(fh, `[
+			{"query": "q.json", "exemplar": "e.json"},
+			{"query": "q.json", "exemplar": "e.json", "beam": 2},
+			{"query": "q.json", "exemplar": "e.json", "max_steps": 5, "time_limit_ms": 50}
+		]`)
+		return err
+	})
+	if err := runBatch(gPath, jobs, 2, 4, 1, 1, 3); err != nil {
+		t.Fatalf("runBatch: %v", err)
+	}
+
+	if err := runBatch("", jobs, 0, 4, 1, 1, 3); err == nil {
+		t.Error("batch without -graph must error")
+	}
+	if err := runBatch(gPath, filepath.Join(dir, "missing.json"), 0, 4, 1, 1, 3); err == nil {
+		t.Error("missing jobs file must error")
+	}
+
+	empty := write("empty.json", func(fh io.Writer) error {
+		_, err := io.WriteString(fh, `[]`)
+		return err
+	})
+	if err := runBatch(gPath, empty, 0, 4, 1, 1, 3); err == nil {
+		t.Error("empty jobs file must error")
+	}
+
+	badRef := write("badref.json", func(fh io.Writer) error {
+		_, err := io.WriteString(fh, `[{"query": "nope.json", "exemplar": "e.json"}]`)
+		return err
+	})
+	if err := runBatch(gPath, badRef, 0, 4, 1, 1, 3); err == nil {
+		t.Error("jobs referencing a missing query file must error")
 	}
 }

@@ -6,7 +6,6 @@ import (
 
 	"wqe/internal/match"
 	"wqe/internal/ops"
-	"wqe/internal/par"
 	"wqe/internal/query"
 )
 
@@ -337,7 +336,7 @@ func (w *Why) evaluateTop(s *state, op scoredOp, key string, q2 *query.Query,
 		seen[ks] = true
 		batch = append(batch, &beamCand{q2: qs, key: ks})
 	}
-	par.ForEach(workers, len(batch), func(i int) {
+	w.forEach(workers, len(batch), func(i int) {
 		c := batch[i]
 		if i == 0 {
 			c.ans, c.res = w.evaluate(c.q2, c.seq2)

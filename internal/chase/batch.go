@@ -1,0 +1,139 @@
+package chase
+
+import (
+	"time"
+
+	"wqe/internal/exemplar"
+	"wqe/internal/par"
+	"wqe/internal/query"
+)
+
+// BatchJob is one Why-question in a cross-question batch: the (query,
+// exemplar) pair plus optional per-job overrides of the session's
+// search limits.
+type BatchJob struct {
+	Q *query.Query
+	E *exemplar.Exemplar
+
+	// Beam selects the algorithm: 0 runs the exact anytime AnsW, any
+	// positive value runs the AnsHeu beam search with that width.
+	Beam int
+
+	// MaxSteps, when positive, overrides the session config's per-job
+	// step budget.
+	MaxSteps int
+
+	// TimeLimit, when positive, overrides the session config's per-job
+	// deadline. Deadlines are anytime cutoffs: the job still returns its
+	// best rewrite so far.
+	TimeLimit time.Duration
+}
+
+// BatchResult is one job's outcome, reported in submission order.
+// Answer, Steps, and States are deterministic — byte-identical to
+// running the same job alone, for any worker count — while Elapsed is
+// wall-clock and carries no determinism contract.
+type BatchResult struct {
+	Answer  Answer
+	Err     error
+	Steps   int
+	States  int
+	Elapsed time.Duration
+}
+
+// BatchStats aggregates one AskAll call.
+type BatchStats struct {
+	Jobs    int   // jobs submitted
+	Failed  int   // jobs that returned an error
+	Workers int   // resolved outer worker count
+	Steps   int64 // total simulated Q-Chase steps across all jobs
+
+	// CacheHits/CacheMisses are the shared star-view cache's deltas over
+	// the batch. Under concurrent jobs the split between two jobs racing
+	// for the same star is timing-dependent, so these are reported only
+	// in aggregate — per-job cache numbers would be nondeterministic.
+	CacheHits, CacheMisses int64
+
+	Elapsed time.Duration // wall-clock of the whole batch
+}
+
+// BatchOptions tunes AskAll's outer scheduling.
+type BatchOptions struct {
+	// Workers bounds the cross-question fan-out: how many jobs may be in
+	// flight at once. 0 means one per logical CPU; 1 runs the jobs
+	// strictly in submission order. Inner per-question parallelism
+	// (Config.Workers) composes with this through the shared token
+	// budget, so Workers×Config.Workers never oversubscribes the
+	// machine.
+	Workers int
+}
+
+// AskAll answers a batch of Why-questions concurrently over the
+// session's shared graph, star-view cache, and distance oracle.
+//
+// Jobs are claimed dynamically, but results commit into submission-
+// order slots: results[i] is jobs[i]'s outcome no matter which worker
+// ran it or when it finished. Each job's Answer/Steps/States are
+// byte-identical to a sequential loop over the same jobs for any worker
+// count — a job's search never reads another job's results, and the
+// star-view cache can only change which builds are shared, never what a
+// star table contains. One failing job does not disturb the others; its
+// error is reported in its slot and counted in BatchStats.Failed.
+func (s *Session) AskAll(jobs []BatchJob, opt BatchOptions) ([]BatchResult, BatchStats) {
+	start := s.clock()
+	var h0, m0 int64
+	if s.cache != nil {
+		h0, m0 = s.cache.Stats()
+	}
+
+	results := make([]BatchResult, len(jobs))
+	workers := par.Workers(opt.Workers)
+	par.ForEachIn(s.budget, workers, len(jobs), func(i int) {
+		results[i] = s.runJob(jobs[i])
+	})
+
+	stats := BatchStats{Jobs: len(jobs), Workers: workers}
+	for i := range results {
+		if results[i].Err != nil {
+			stats.Failed++
+		}
+		stats.Steps += int64(results[i].Steps)
+	}
+	if s.cache != nil {
+		h1, m1 := s.cache.Stats()
+		stats.CacheHits, stats.CacheMisses = h1-h0, m1-m0
+	}
+	stats.Elapsed = s.clock().Sub(start)
+	return results, stats
+}
+
+// runJob compiles and runs one batch job against the session's shared
+// state.
+func (s *Session) runJob(j BatchJob) BatchResult {
+	if j.Q == nil || j.E == nil {
+		return BatchResult{Err: errNilJob}
+	}
+	cfg := s.Cfg
+	if j.MaxSteps > 0 {
+		cfg.MaxSteps = j.MaxSteps
+	}
+	if j.TimeLimit > 0 {
+		cfg.TimeLimit = j.TimeLimit
+	}
+	w, err := newWhyWith(s.G, j.Q, j.E, cfg, s.dist, s.cache, s.budget)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	var a Answer
+	if j.Beam > 0 {
+		a = w.AnsHeu(j.Beam)
+	} else {
+		a = w.AnsW()
+	}
+	return BatchResult{
+		Answer:  a,
+		Steps:   w.Stats.Steps,
+		States:  w.Stats.States,
+		Elapsed: w.Stats.Elapsed,
+	}
+}

@@ -19,6 +19,8 @@ import (
 type parallelBench struct {
 	GeneratedBy     string  `json:"generated_by"`
 	Cores           int     `json:"cores"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
 	ParallelWorkers int     `json:"parallel_workers"`
 	Workload        string  `json:"workload"`
 	SequentialMS    float64 `json:"sequential_ms"`
@@ -69,6 +71,8 @@ func TestEmitParallelBench(t *testing.T) {
 	b := parallelBench{
 		GeneratedBy:     "WQE_BENCH_JSON=1 go test ./internal/chase -run TestEmitParallelBench (make bench-parallel)",
 		Cores:           runtime.GOMAXPROCS(0),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
 		ParallelWorkers: runtime.GOMAXPROCS(0),
 		Workload:        workload,
 		SequentialMS:    float64(seqDur.Microseconds()) / 1000,
@@ -81,6 +85,7 @@ func TestEmitParallelBench(t *testing.T) {
 	if !b.OutputIdentical {
 		t.Fatalf("parallel output diverged from sequential:\n--- seq\n%s--- par\n%s", seqOut, parOut)
 	}
+	warnSingleCore(t)
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		t.Fatalf("marshal: %v", err)

@@ -160,6 +160,13 @@ type Why struct {
 	params ops.Params
 	rng    *rand.Rand
 
+	// budget, when non-nil, gates this Why's evaluation fan-out on the
+	// shared helper-token budget (see par.Budget): inside a batch, inner
+	// per-question parallelism and outer cross-question parallelism draw
+	// from the same pool, so nesting never oversubscribes the machine.
+	// Standalone Why-questions leave it nil and fan out ungated.
+	budget *par.Budget
+
 	// partnerCache memoizes refinement partner sets across chase states:
 	// the partners of a focus match at a pattern node depend only on the
 	// node's matching signature and the exploration radius, not on the
@@ -204,6 +211,18 @@ type Sample struct {
 // builds the exemplar evaluator (rep(E, V), closeness), the distance
 // oracle, and the matcher.
 func NewWhy(g *graph.Graph, q *query.Query, e *exemplar.Exemplar, cfg Config) (*Why, error) {
+	return newWhyWith(g, q, e, cfg, nil, nil, nil)
+}
+
+// newWhyWith is NewWhy with the per-graph resources supplied by a
+// Session: a prebuilt distance oracle, a shared star-view cache, and
+// the helper-token budget. Any nil resource is built (or, for the
+// budget, left off) exactly as standalone NewWhy would — sessions reuse
+// one oracle and one cache across every question instead of building
+// and discarding them per Ask.
+func newWhyWith(g *graph.Graph, q *query.Query, e *exemplar.Exemplar, cfg Config,
+	dist distindex.Index, cache *match.Cache, budget *par.Budget) (*Why, error) {
+
 	cfg = cfg.withDefaults()
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -215,16 +234,17 @@ func NewWhy(g *graph.Graph, q *query.Query, e *exemplar.Exemplar, cfg Config) (*
 	if !ev.Nontrivial() {
 		return nil, errors.New("chase: trivial exemplar: rep(E, V) is empty")
 	}
-	var dist distindex.Index
-	switch cfg.DistBackend {
-	case "bfs":
-		dist = distindex.NewBFS(g)
-	case "pll":
-		dist = distindex.NewPLL(g)
-	case "":
-		dist = distindex.Auto(g)
-	default:
-		return nil, fmt.Errorf("chase: unknown distance backend %q", cfg.DistBackend)
+	if dist == nil {
+		switch cfg.DistBackend {
+		case "bfs":
+			dist = distindex.NewBFS(g)
+		case "pll":
+			dist = distindex.NewPLLParallel(g, cfg.Workers)
+		case "":
+			dist = distindex.Auto(g)
+		default:
+			return nil, fmt.Errorf("chase: unknown distance backend %q", cfg.DistBackend)
+		}
 	}
 	w := &Why{
 		G:            g,
@@ -233,6 +253,7 @@ func NewWhy(g *graph.Graph, q *query.Query, e *exemplar.Exemplar, cfg Config) (*
 		Cfg:          cfg,
 		Eval:         ev,
 		Dist:         dist,
+		budget:       budget,
 		params:       ops.Params{MaxBound: cfg.MaxBound},
 		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
 		partnerCache: map[partnerCacheKey][]graph.NodeID{},
@@ -242,8 +263,7 @@ func NewWhy(g *graph.Graph, q *query.Query, e *exemplar.Exemplar, cfg Config) (*
 	// Warm the graph's lazy caches so concurrent Why-questions over the
 	// same graph stay race-free.
 	g.WarmCaches()
-	var cache *match.Cache
-	if cfg.Cache {
+	if cache == nil && cfg.Cache {
 		cache = match.NewCache(cfg.CacheCap, 0.95)
 	}
 	w.Matcher = match.NewMatcher(g, w.Dist, cache)
@@ -387,6 +407,14 @@ func (w *Why) stepsUsed() int { return int(w.steps.Load()) }
 
 // workers resolves Config.Workers to a concrete pool size.
 func (w *Why) workers() int { return par.Workers(w.Cfg.Workers) }
+
+// forEach fans fn out over the evaluation pool, gated by the shared
+// helper budget when this Why runs under a Session (nil budget is the
+// ungated standalone path). Output never depends on the gate: callers
+// commit in claim order whatever the realized parallelism was.
+func (w *Why) forEach(workers, n int, fn func(i int)) {
+	par.ForEachIn(w.budget, workers, n, fn)
+}
 
 // deadline converts Config.TimeLimit into an absolute deadline (zero
 // when unlimited), anchored at the run's start on w.clock.

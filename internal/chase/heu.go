@@ -6,7 +6,6 @@ import (
 
 	"wqe/internal/match"
 	"wqe/internal/ops"
-	"wqe/internal/par"
 	"wqe/internal/query"
 )
 
@@ -142,7 +141,7 @@ func (w *Why) beamSearch(beam int, random bool) Answer {
 		}
 
 		// Phase 2 — evaluate the whole level concurrently.
-		par.ForEach(workers, len(cands), func(i int) {
+		w.forEach(workers, len(cands), func(i int) {
 			c := cands[i]
 			c.ans, c.res = w.evaluate(c.q2, c.seq2)
 		})

@@ -1,10 +1,13 @@
 package chase
 
 import (
+	"time"
+
 	"wqe/internal/distindex"
 	"wqe/internal/exemplar"
 	"wqe/internal/graph"
 	"wqe/internal/match"
+	"wqe/internal/par"
 	"wqe/internal/query"
 )
 
@@ -15,35 +18,49 @@ import (
 // consecutive Why-questions reuse materialized star tables, which is
 // exactly where the §5.2 cache pays off ("minimizing system response
 // time between search sessions").
+//
+// A Session is safe for concurrent use: any number of goroutines may
+// call Ask/AskFast/Why/AskAll on one Session. The shared pieces are
+// each internally synchronized (the star-view cache) or immutable after
+// construction (the distance oracle, the warmed graph), and every
+// question compiled through the session draws its evaluation fan-out
+// from the shared helper-token budget, so concurrent questions compose
+// without oversubscribing the machine.
 type Session struct {
-	G     *graph.Graph
-	Cfg   Config
-	dist  distindex.Index
-	cache *match.Cache
+	G      *graph.Graph
+	Cfg    Config
+	dist   distindex.Index
+	cache  *match.Cache
+	budget *par.Budget
+
+	// clock feeds batch wall-clock statistics only (never ranking);
+	// tests substitute a fake to pin elapsed-time plumbing.
+	clock func() time.Time
 }
 
 // NewSession builds a session over g. The config's Budget/Theta/Lambda
 // apply to every Ask unless overridden per call.
 func NewSession(g *graph.Graph, cfg Config) *Session {
 	cfg = cfg.withDefaults()
-	s := &Session{G: g, Cfg: cfg, dist: distindex.Auto(g)}
+	s := &Session{
+		G:      g,
+		Cfg:    cfg,
+		dist:   distindex.Auto(g),
+		budget: par.SharedBudget(),
+		//lint:ignore detsource injectable-clock default; only BatchStats.Elapsed reads it, never ranking
+		clock: time.Now,
+	}
 	if cfg.Cache {
 		s.cache = match.NewCache(cfg.CacheCap, 0.95)
 	}
 	return s
 }
 
-// Why compiles one Why-question against the session's shared state.
+// Why compiles one Why-question against the session's shared state: the
+// prebuilt distance oracle, the shared star-view cache, and the helper
+// budget.
 func (s *Session) Why(q *query.Query, e *exemplar.Exemplar) (*Why, error) {
-	w, err := NewWhy(s.G, q, e, s.Cfg)
-	if err != nil {
-		return nil, err
-	}
-	// Share the session's oracle and cache instead of the fresh ones
-	// NewWhy built.
-	w.Dist = s.dist
-	w.Matcher = match.NewMatcher(s.G, s.dist, s.cache)
-	return w, nil
+	return newWhyWith(s.G, q, e, s.Cfg, s.dist, s.cache, s.budget)
 }
 
 // Ask runs one search session: evaluate the query, and when an exemplar
@@ -111,3 +128,5 @@ type chaseError string
 func (e chaseError) Error() string { return string(e) }
 
 const errFociMismatch = chaseError("chase: foci and exemplars must be parallel slices")
+
+const errNilJob = chaseError("chase: batch job needs both a query and an exemplar")

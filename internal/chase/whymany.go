@@ -4,7 +4,6 @@ import (
 	"wqe/internal/graph"
 	"wqe/internal/match"
 	"wqe/internal/ops"
-	"wqe/internal/par"
 	"wqe/internal/query"
 )
 
@@ -50,7 +49,7 @@ func (w *Why) ApxWhyM() Answer {
 		}
 		pending = append(pending, &seedCand{op: s.Op, q2: q2})
 	}
-	par.ForEach(w.workers(), len(pending), func(i int) {
+	w.forEach(w.workers(), len(pending), func(i int) {
 		c := pending[i]
 		c.ans, c.res = w.evaluate(c.q2, ops.Sequence{c.op})
 	})

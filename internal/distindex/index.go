@@ -39,10 +39,12 @@ func (b *BFS) Within(s, t graph.NodeID, bound int) bool {
 }
 
 // Auto picks an oracle for g: PLL when the graph is large enough that
-// repeated BFS would dominate, plain BFS otherwise.
+// repeated BFS would dominate, plain BFS otherwise. The PLL index is
+// built with the parallel construction (bit-identical to the
+// sequential one).
 func Auto(g *graph.Graph) Index {
 	if g.NumNodes() >= 20000 {
-		return NewPLL(g)
+		return NewPLLParallel(g, 0)
 	}
 	return NewBFS(g)
 }

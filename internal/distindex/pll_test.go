@@ -101,11 +101,106 @@ func TestAutoSelection(t *testing.T) {
 	}
 }
 
+// labelsEqual compares two indexes label-for-label: same per-node
+// in/out lists, same (rank, d) entries in the same order.
+func labelsEqual(t *testing.T, a, b *PLL) bool {
+	t.Helper()
+	if len(a.in) != len(b.in) || a.LabelSize() != b.LabelSize() {
+		return false
+	}
+	sides := func(p *PLL, i int) [2][]labelEntry { return [2][]labelEntry{p.in[i], p.out[i]} }
+	for i := range a.in {
+		as, bs := sides(a, i), sides(b, i)
+		for s := 0; s < 2; s++ {
+			if len(as[s]) != len(bs[s]) {
+				return false
+			}
+			for j := range as[s] {
+				if as[s][j] != bs[s][j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestPLLParallelBitIdentical pins the tentpole contract: the parallel
+// construction produces the exact sequential index — every node's label
+// lists entry-for-entry — across graph shapes, seeds, and worker
+// counts (including workers exceeding the machine).
+func TestPLLParallelBitIdentical(t *testing.T) {
+	shapes := []struct{ n, m int }{
+		{12, 15},   // tiny: below the seed threshold, sequential fallback
+		{60, 150},  // sparse
+		{80, 600},  // medium
+		{50, 1200}, // dense
+		{90, 0},    // edgeless
+		{200, 700}, // larger than several batch doublings
+	}
+	for _, sh := range shapes {
+		for seed := int64(1); seed <= 5; seed++ {
+			g := randomGraph(sh.n, sh.m, seed)
+			want := NewPLL(g)
+			for _, workers := range []int{2, 3, 8} {
+				got := NewPLLParallel(g, workers)
+				if !labelsEqual(t, want, got) {
+					t.Fatalf("n=%d m=%d seed=%d workers=%d: parallel labels differ from sequential (sizes %d vs %d)",
+						sh.n, sh.m, seed, workers, want.LabelSize(), got.LabelSize())
+				}
+			}
+		}
+	}
+}
+
+// TestPLLParallelDistances cross-checks parallel-built distances
+// against the BFS oracle directly, so a bug that broke both builds the
+// same way could not hide behind the identity test.
+func TestPLLParallelDistances(t *testing.T) {
+	g := randomGraph(70, 300, 9)
+	pll := NewPLLParallel(g, 4)
+	bfs := NewBFS(g)
+	for a := 0; a < 70; a++ {
+		for b := 0; b < 70; b++ {
+			if got, want := pll.Dist(graph.NodeID(a), graph.NodeID(b)), bfs.Dist(graph.NodeID(a), graph.NodeID(b)); got != want {
+				t.Fatalf("parallel PLL dist(%d,%d)=%d, BFS=%d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestPLLChainParallel: the deterministic chain case through the
+// parallel path (chain length exceeds the seed count, so the batched
+// phase actually runs).
+func TestPLLChainParallel(t *testing.T) {
+	g := graph.New()
+	const n = 40
+	for i := 0; i < n; i++ {
+		g.AddNode("N", nil)
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), "")
+	}
+	if !labelsEqual(t, NewPLL(g), NewPLLParallel(g, 3)) {
+		t.Fatal("chain labels differ between sequential and parallel builds")
+	}
+}
+
 func BenchmarkPLLBuild(b *testing.B) {
 	g := randomGraph(2000, 6000, 42)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		NewPLL(g)
+	}
+}
+
+func BenchmarkPLLBuildParallel(b *testing.B) {
+	g := randomGraph(2000, 6000, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewPLLParallel(g, 0)
 	}
 }
 

@@ -126,7 +126,17 @@ func scanDetSources(fset *token.FileSet, n *callgraph.Node, via string) []Findin
 				})
 			}
 		case *ast.SelectStmt:
-			if len(node.Body.List) < 2 {
+			// Randomness needs two comm cases ready at once. A single comm
+			// case — with or without a default (the non-blocking try) — is
+			// deterministic: the spec's pseudo-random choice only arbitrates
+			// between ready comm cases, and default never races.
+			comm := 0
+			for _, clause := range node.Body.List {
+				if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
+					comm++
+				}
+			}
+			if comm < 2 {
 				return true
 			}
 			out = append(out, Finding{

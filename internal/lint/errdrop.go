@@ -8,19 +8,25 @@ import (
 )
 
 // ErrDrop returns the errdrop analyzer: it flags silently discarded
-// error returns in internal packages — a bare call statement whose
-// result includes an error, and `_ =`/`v, _ :=` assignments that blank
-// an error-typed result.
+// error returns in internal packages and command mains — a bare call
+// statement whose result includes an error, and `_ =`/`v, _ :=`
+// assignments that blank an error-typed result.
 //
 // Methods on strings.Builder and bytes.Buffer (and fmt.Fprint* writing
-// into one) are documented never to fail and are exempt. A drop that is
-// genuinely intended gets a `//lint:ignore errdrop <reason>`.
+// into one) are documented never to fail and are exempt. In command
+// mains, terminal output — fmt.Print/Printf/Println and fmt.Fprint* to
+// os.Stdout or os.Stderr — is also exempt: a CLI cannot usefully report
+// that its own reporting failed. A drop that is genuinely intended gets
+// a `//lint:ignore errdrop <reason>`.
 func ErrDrop() *Analyzer {
 	return &Analyzer{
 		Name: "errdrop",
-		Doc:  "error returns in internal packages must be handled, not discarded",
+		Doc:  "error returns in internal packages and command mains must be handled, not discarded",
 		Applies: func(pkg *Package) bool {
-			return pkg.Name() != "main" && isInternalPath(pkg.PkgPath)
+			if pkg.Name() != "main" && isInternalPath(pkg.PkgPath) {
+				return true
+			}
+			return isCmdPath(pkg.PkgPath)
 		},
 		Run: runErrDrop,
 	}
@@ -28,6 +34,10 @@ func ErrDrop() *Analyzer {
 
 func isInternalPath(path string) bool {
 	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+func isCmdPath(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
 }
 
 func runErrDrop(mod *Module, pkg *Package) []Finding {
@@ -140,9 +150,12 @@ func isErrorType(t types.Type) bool {
 	return types.Identical(t, types.Universe.Lookup("error").Type())
 }
 
-// neverFails recognizes error returns documented to always be nil:
-// methods on strings.Builder / bytes.Buffer, and fmt.Fprint* targeting
-// one of those as the writer.
+// neverFails recognizes error returns that cannot be usefully handled:
+// methods on strings.Builder / bytes.Buffer and fmt.Fprint* targeting
+// one of those (documented never to fail), plus terminal output —
+// fmt.Print/Printf/Println and fmt.Fprint* to os.Stdout / os.Stderr —
+// where the only possible reaction to a failed write is another write
+// to the same stream.
 func neverFails(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
@@ -152,14 +165,34 @@ func neverFails(info *types.Info, call *ast.CallExpr) bool {
 		return isBuilderOrBuffer(selection.Recv())
 	}
 	obj := info.Uses[sel.Sel]
-	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" ||
-		!strings.HasPrefix(obj.Name(), "Fprint") || len(call.Args) == 0 {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
 		return false
+	}
+	if strings.HasPrefix(obj.Name(), "Print") {
+		return true // fmt.Print/Printf/Println write to stdout
+	}
+	if !strings.HasPrefix(obj.Name(), "Fprint") || len(call.Args) == 0 {
+		return false
+	}
+	if isStdStream(info, call.Args[0]) {
+		return true
 	}
 	if t := info.TypeOf(call.Args[0]); t != nil {
 		return isBuilderOrBuffer(t)
 	}
 	return false
+}
+
+// isStdStream reports whether the expression is the os.Stdout or
+// os.Stderr package variable.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		(obj.Name() == "Stdout" || obj.Name() == "Stderr")
 }
 
 func isBuilderOrBuffer(t types.Type) bool {

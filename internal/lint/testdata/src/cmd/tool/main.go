@@ -1,7 +1,54 @@
 // Command tool is a lint fixture: package main is outside panicfree's
-// scope, so a top-level panic here is allowed.
+// scope, so a top-level panic here is allowed — but errdrop applies to
+// cmd/ packages, with terminal output exempt.
 package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
 
 func main() {
 	panic("command binaries may panic")
+}
+
+// Dropped discards an error in a command main: flagged.
+func Dropped() {
+	fallible() // want errdrop
+}
+
+// Blanked blanks an error in a command main: flagged.
+func Blanked() int {
+	v, _ := pair() // want errdrop
+	return v
+}
+
+// Terminal output cannot usefully report its own failure: not flagged.
+func Terminal(b *strings.Builder) {
+	fmt.Println("progress")
+	fmt.Printf("%d%%\n", 50)
+	fmt.Print("done\n")
+	fmt.Fprintln(os.Stderr, "warning")
+	fmt.Fprintf(os.Stdout, "result %d\n", 1)
+	fmt.Fprintf(b, "buffered %d\n", 2)
+}
+
+// FileWrite targets an arbitrary writer, not a std stream: flagged.
+func FileWrite(f *os.File) {
+	fmt.Fprintln(f, "payload") // want errdrop
+}
+
+// Handled checks the error: not flagged.
+func Handled() int {
+	v, err := pair()
+	if err != nil {
+		return -1
+	}
+	return v
 }
