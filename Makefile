@@ -3,12 +3,13 @@
 
 GO ?= go
 
-# Packages with shared mutable state (star-view cache, lazy graph
-# caches, chase sessions, the worker pool, parallel PLL construction)
-# that must stay clean under the race detector.
+# Packages with shared mutable state (sharded star-view cache, lazy
+# graph caches, chase sessions, the worker pool, parallel PLL
+# construction) that must stay clean under the race detector. The cache
+# stripes, singleflight, and eviction paths all live in internal/match.
 RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par ./internal/distindex
 
-.PHONY: all build vet fmt-check test race lint callgraph check bench-parallel bench-batch ci
+.PHONY: all build vet fmt-check test race lint callgraph check bench-parallel bench-batch bench-shard ci
 
 all: build
 
@@ -52,4 +53,10 @@ bench-parallel:
 bench-batch:
 	WQE_BATCH_BENCH_JSON=$(abspath BENCH_batch.json) $(GO) test ./internal/chase -run TestEmitBatchBench -v
 
-ci: check bench-parallel bench-batch
+# Regenerate BENCH_shard.json: AskAll throughput at batch widths
+# 1/4/8/16 with the sharded vs single-shard star-view cache, plus a
+# contended GetOrBuild hit microbenchmark.
+bench-shard:
+	WQE_SHARD_BENCH_JSON=$(abspath BENCH_shard.json) $(GO) test ./internal/chase -run TestEmitShardBench -v
+
+ci: check bench-parallel bench-batch bench-shard

@@ -60,7 +60,7 @@ func loadBatchSpecs(path string) ([]batchJobSpec, error) {
 // runBatch answers every job in the jobs file concurrently over one
 // shared session (graph, star-view cache, distance oracle) and prints
 // the results in submission order followed by the aggregate statistics.
-func runBatch(graphPath, batchPath string, workers int,
+func runBatch(graphPath, batchPath string, workers, cacheShards int,
 	budget, theta, lambda float64, maxBound int) error {
 
 	if graphPath == "" {
@@ -81,6 +81,7 @@ func runBatch(graphPath, batchPath string, workers int,
 	cfg.Lambda = lambda
 	cfg.MaxBound = maxBound
 	cfg.Cache = true
+	cfg.CacheShards = cacheShards
 	sess := chase.NewSession(g, cfg)
 
 	jobs := make([]chase.BatchJob, len(specs))

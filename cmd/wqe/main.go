@@ -46,16 +46,17 @@ func main() {
 		demo         = flag.Bool("demo", false, "run the built-in Fig 1 example")
 		batchPath    = flag.String("batch", "", "jobs JSON file: answer a batch of Why-questions over one shared session")
 		workers      = flag.Int("workers", 0, "batch worker count (0 = one per logical CPU)")
+		cacheShards  = flag.Int("cache-shards", 0, "star-view cache lock stripes (0 = auto, 1 = unsharded; rounded up to a power of two)")
 	)
 	flag.Parse()
 
 	var err error
 	if *batchPath != "" {
-		err = runBatch(*graphPath, *batchPath, *workers,
+		err = runBatch(*graphPath, *batchPath, *workers, *cacheShards,
 			*budget, *theta, *lambda, *maxBound)
 	} else {
 		err = run(*graphPath, *queryPath, *exemplarPath, *algo, *k, *beam,
-			*budget, *theta, *lambda, *maxBound, *demo)
+			*budget, *theta, *lambda, *maxBound, *cacheShards, *demo)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wqe:", err)
@@ -64,7 +65,7 @@ func main() {
 }
 
 func run(graphPath, queryPath, exemplarPath, algo string, k, beam int,
-	budget, theta, lambda float64, maxBound int, demo bool) error {
+	budget, theta, lambda float64, maxBound, cacheShards int, demo bool) error {
 
 	var (
 		g *graph.Graph
@@ -98,6 +99,7 @@ func run(graphPath, queryPath, exemplarPath, algo string, k, beam int,
 	cfg.Theta = theta
 	cfg.Lambda = lambda
 	cfg.MaxBound = maxBound
+	cfg.CacheShards = cacheShards
 	w, err := chase.NewWhy(g, q, e, cfg)
 	if err != nil {
 		return err

@@ -12,14 +12,14 @@ import (
 // TestRunDemo drives the CLI's full pipeline on the built-in example.
 func TestRunDemo(t *testing.T) {
 	for _, algo := range []string{"answ", "topk", "heu", "whymany", "whyempty", "fmansw"} {
-		if err := run("", "", "", algo, 2, 2, 4, 1, 1, 3, true); err != nil {
+		if err := run("", "", "", algo, 2, 2, 4, 1, 1, 3, 0, true); err != nil {
 			t.Errorf("run(-demo, -algo %s): %v", algo, err)
 		}
 	}
-	if err := run("", "", "", "bogus", 2, 2, 4, 1, 1, 3, true); err == nil {
+	if err := run("", "", "", "bogus", 2, 2, 4, 1, 1, 3, 0, true); err == nil {
 		t.Error("unknown algorithm must error")
 	}
-	if err := run("", "", "", "answ", 2, 2, 4, 1, 1, 3, false); err == nil {
+	if err := run("", "", "", "answ", 2, 2, 4, 1, 1, 3, 0, false); err == nil {
 		t.Error("missing file flags must error")
 	}
 }
@@ -53,10 +53,10 @@ func TestRunFromFiles(t *testing.T) {
 	}
 	ef.Close()
 
-	if err := run(gPath, qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, false); err != nil {
+	if err := run(gPath, qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, 2, false); err != nil {
 		t.Fatalf("run from files: %v", err)
 	}
-	if err := run(filepath.Join(dir, "missing.json"), qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.json"), qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, 0, false); err == nil {
 		t.Error("missing graph file must error")
 	}
 }
@@ -95,14 +95,14 @@ func TestRunBatch(t *testing.T) {
 		]`)
 		return err
 	})
-	if err := runBatch(gPath, jobs, 2, 4, 1, 1, 3); err != nil {
+	if err := runBatch(gPath, jobs, 2, 4, 4, 1, 1, 3); err != nil {
 		t.Fatalf("runBatch: %v", err)
 	}
 
-	if err := runBatch("", jobs, 0, 4, 1, 1, 3); err == nil {
+	if err := runBatch("", jobs, 0, 0, 4, 1, 1, 3); err == nil {
 		t.Error("batch without -graph must error")
 	}
-	if err := runBatch(gPath, filepath.Join(dir, "missing.json"), 0, 4, 1, 1, 3); err == nil {
+	if err := runBatch(gPath, filepath.Join(dir, "missing.json"), 0, 0, 4, 1, 1, 3); err == nil {
 		t.Error("missing jobs file must error")
 	}
 
@@ -110,7 +110,7 @@ func TestRunBatch(t *testing.T) {
 		_, err := io.WriteString(fh, `[]`)
 		return err
 	})
-	if err := runBatch(gPath, empty, 0, 4, 1, 1, 3); err == nil {
+	if err := runBatch(gPath, empty, 0, 0, 4, 1, 1, 3); err == nil {
 		t.Error("empty jobs file must error")
 	}
 
@@ -118,7 +118,7 @@ func TestRunBatch(t *testing.T) {
 		_, err := io.WriteString(fh, `[{"query": "nope.json", "exemplar": "e.json"}]`)
 		return err
 	})
-	if err := runBatch(gPath, badRef, 0, 4, 1, 1, 3); err == nil {
+	if err := runBatch(gPath, badRef, 0, 0, 4, 1, 1, 3); err == nil {
 		t.Error("jobs referencing a missing query file must error")
 	}
 }

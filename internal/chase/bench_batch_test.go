@@ -31,6 +31,40 @@ func warnSingleCore(t *testing.T) {
 	t.Log("*********************************************************************")
 }
 
+// guardSingleCoreOverwrite skips the emitter when it would replace an
+// existing multi-core recording with a single-core one: a laptop or
+// container run must not silently clobber CI's meaningful numbers with
+// ~1.0x noise. Every bench JSON schema carries "gomaxprocs", so the
+// guard reads it from the existing artifact. WQE_BENCH_FORCE=1
+// overrides (for deliberately re-baselining on a small machine).
+func guardSingleCoreOverwrite(t *testing.T, out string) {
+	t.Helper()
+	if skip, prev := shouldSkipOverwrite(out, runtime.GOMAXPROCS(0),
+		os.Getenv("WQE_BENCH_FORCE") == "1"); skip {
+		t.Skipf("refusing to overwrite %s (recorded with GOMAXPROCS=%d) from a single-core run; set WQE_BENCH_FORCE=1 to override", out, prev)
+	}
+}
+
+// shouldSkipOverwrite is the guard's decision: skip iff this run is
+// single-core, unforced, and the existing artifact at out records a
+// multi-core run (whose GOMAXPROCS it returns).
+func shouldSkipOverwrite(out string, gomaxprocs int, force bool) (bool, int) {
+	if gomaxprocs > 1 || force {
+		return false, 0
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		return false, 0 // nothing to clobber
+	}
+	var prev struct {
+		GOMAXPROCS int `json:"gomaxprocs"`
+	}
+	if json.Unmarshal(data, &prev) != nil || prev.GOMAXPROCS <= 1 {
+		return false, 0 // unreadable, or itself single-core: nothing of value lost
+	}
+	return true, prev.GOMAXPROCS
+}
+
 // batchBench is the BENCH_batch.json schema: cross-question batch
 // throughput (jobs/sec, sequential vs batched over one shared session)
 // and PLL index construction (sequential vs parallel build), plus the
@@ -71,6 +105,7 @@ func TestEmitBatchBench(t *testing.T) {
 	if out == "1" {
 		out = filepath.Join("..", "..", "BENCH_batch.json")
 	}
+	guardSingleCoreOverwrite(t, out)
 
 	const nJobs = 8
 	const workload = "products n=4000: 8 Why-questions batched over one shared session " +

@@ -1,0 +1,49 @@
+package chase_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShouldSkipOverwrite pins the bench-artifact guard: a single-core
+// run must refuse to overwrite a multi-core recording, and nothing
+// else — missing artifacts, unreadable JSON, single-core artifacts,
+// multi-core runs, and the WQE_BENCH_FORCE override all write through.
+func TestShouldSkipOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	multi := write("multi.json", `{"gomaxprocs": 8, "speedup": 3.1}`)
+	single := write("single.json", `{"gomaxprocs": 1, "speedup": 1.0}`)
+	garbage := write("garbage.json", `not json`)
+	missing := filepath.Join(dir, "missing.json")
+
+	cases := []struct {
+		name       string
+		out        string
+		gomaxprocs int
+		force      bool
+		wantSkip   bool
+		wantPrev   int
+	}{
+		{"single-core over multi-core recording", multi, 1, false, true, 8},
+		{"forced single-core over multi-core", multi, 1, true, false, 0},
+		{"multi-core over multi-core", multi, 8, false, false, 0},
+		{"single-core over single-core recording", single, 1, false, false, 0},
+		{"single-core over unreadable artifact", garbage, 1, false, false, 0},
+		{"single-core with no artifact", missing, 1, false, false, 0},
+	}
+	for _, tc := range cases {
+		skip, prev := shouldSkipOverwrite(tc.out, tc.gomaxprocs, tc.force)
+		if skip != tc.wantSkip || prev != tc.wantPrev {
+			t.Errorf("%s: shouldSkipOverwrite = (%v, %d), want (%v, %d)",
+				tc.name, skip, prev, tc.wantSkip, tc.wantPrev)
+		}
+	}
+}

@@ -44,6 +44,7 @@ func TestEmitParallelBench(t *testing.T) {
 	if out == "1" {
 		out = filepath.Join("..", "..", "BENCH_parallel.json")
 	}
+	guardSingleCoreOverwrite(t, out)
 
 	const workload = "products n=4000: 4 Why-questions x (AnsHeu(4) + ApxWhyM), MaxSteps=2000, cache on"
 	g, instances := genInstances(t, datagen.DatasetProducts, 4000, 4, 11)

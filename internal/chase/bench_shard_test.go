@@ -1,0 +1,171 @@
+package chase_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"wqe/internal/chase"
+	"wqe/internal/datagen"
+	"wqe/internal/match"
+)
+
+// shardWidth is one row of the BENCH_shard.json width sweep: AskAll
+// throughput at one worker width, striped cache versus a single shard.
+type shardWidth struct {
+	Width             int     `json:"width"`
+	UnshardedMS       float64 `json:"unsharded_ms"`
+	ShardedMS         float64 `json:"sharded_ms"`
+	UnshardedJobsPerS float64 `json:"unsharded_jobs_per_sec"`
+	ShardedJobsPerS   float64 `json:"sharded_jobs_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	OutputIdentical   bool    `json:"output_identical"`
+}
+
+// shardBench is the BENCH_shard.json schema: the AskAll width sweep
+// plus a GetOrBuild hit-path microbenchmark (the contended operation the
+// stripes exist for), with provenance.
+type shardBench struct {
+	GeneratedBy string `json:"generated_by"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	AutoShards  int    `json:"auto_shards"`
+	Workload    string `json:"workload"`
+
+	Widths []shardWidth `json:"widths"`
+
+	Micro1ShardNsOp  int64   `json:"micro_getorbuild_1shard_ns_op"`
+	MicroShardedNsOp int64   `json:"micro_getorbuild_sharded_ns_op"`
+	MicroAllocsPerOp int64   `json:"micro_getorbuild_allocs_per_op"`
+	MicroSpeedup     float64 `json:"micro_speedup"`
+
+	Note string `json:"note"`
+}
+
+// TestEmitShardBench measures the sharded star-view cache against the
+// single-shard (un-striped) cache — AskAll jobs/sec at batch widths
+// 1/4/8/16 and a contended GetOrBuild hit microbenchmark — and writes
+// BENCH_shard.json. Gated behind WQE_SHARD_BENCH_JSON: set it to 1 to
+// write the repo default, or to an explicit output path. `make
+// bench-shard` wraps this.
+func TestEmitShardBench(t *testing.T) {
+	out := os.Getenv("WQE_SHARD_BENCH_JSON")
+	if out == "" {
+		t.Skip("set WQE_SHARD_BENCH_JSON=1 (or to an output path) to emit BENCH_shard.json")
+	}
+	if out == "1" {
+		out = filepath.Join("..", "..", "BENCH_shard.json")
+	}
+	guardSingleCoreOverwrite(t, out)
+
+	const nJobs = 16
+	const workload = "products n=2000: 16 Why-questions batched over one shared session " +
+		"(AnsHeu(4), MaxSteps=1000, cache on), AskAll at Workers=1/4/8/16, " +
+		"CacheShards=1 (un-striped) vs CacheShards=0 (auto)"
+	g, instances := genInstances(t, datagen.DatasetProducts, 2000, nJobs, 11)
+	jobs := make([]chase.BatchJob, len(instances))
+	for i, inst := range instances {
+		jobs[i] = chase.BatchJob{Q: inst.Q, E: inst.E, Beam: 4, MaxSteps: 1000}
+	}
+
+	run := func(shards, workers int) (time.Duration, string) {
+		cfg := chase.DefaultConfig()
+		cfg.MaxSteps = 1000
+		cfg.Cache = true
+		cfg.CacheShards = shards
+		sess := chase.NewSession(g, cfg)
+		start := time.Now()
+		results, _ := sess.AskAll(jobs, chase.BatchOptions{Workers: workers})
+		dur := time.Since(start)
+		transcript := ""
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("batch job failed: %v", r.Err)
+			}
+			transcript += renderAnswer(r.Answer) + "\n"
+		}
+		return dur, transcript
+	}
+
+	run(1, 1) // warm allocator and OS caches once
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	jps := func(d time.Duration) float64 { return float64(nJobs) / d.Seconds() }
+	var widths []shardWidth
+	for _, w := range []int{1, 4, 8, 16} {
+		flatDur, flatOut := run(1, w)
+		shDur, shOut := run(0, w)
+		widths = append(widths, shardWidth{
+			Width:             w,
+			UnshardedMS:       ms(flatDur),
+			ShardedMS:         ms(shDur),
+			UnshardedJobsPerS: jps(flatDur),
+			ShardedJobsPerS:   jps(shDur),
+			Speedup:           float64(flatDur) / float64(shDur),
+			OutputIdentical:   flatOut == shOut,
+		})
+		if flatOut != shOut {
+			t.Fatalf("width %d: sharded output diverged from single-shard", w)
+		}
+	}
+
+	// Microbenchmark: the pure GetOrBuild hit path under RunParallel
+	// contention — the operation whose mutex the stripes split.
+	micro := func(shards int) testing.BenchmarkResult {
+		c := match.NewCacheSharded(256, 0.95, shards)
+		keys := make([]string, 64)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("g1|star|c=phone|e%d>store@2", i)
+			c.Put(keys[i], &match.StarTable{})
+		}
+		// The working set is warm; build must never run.
+		build := func() *match.StarTable { t.Fail(); return &match.StarTable{} }
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if c.GetOrBuild(keys[i&63], build) == nil {
+						b.Fail()
+					}
+					i++
+				}
+			})
+		})
+	}
+	flat := micro(1)
+	striped := micro(0)
+
+	b := shardBench{
+		GeneratedBy:      "WQE_SHARD_BENCH_JSON=1 go test ./internal/chase -run TestEmitShardBench (make bench-shard)",
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		AutoShards:       match.DefaultShards(),
+		Workload:         workload,
+		Widths:           widths,
+		Micro1ShardNsOp:  flat.NsPerOp(),
+		MicroShardedNsOp: striped.NsPerOp(),
+		MicroAllocsPerOp: striped.AllocsPerOp(),
+		MicroSpeedup:     float64(flat.NsPerOp()) / float64(striped.NsPerOp()),
+		Note: "throughput target is >=1.5x sharded-over-unsharded at width 8 on >=4 cores; " +
+			"single-core runners record ~1.0x because one worker never contends with itself",
+	}
+	warnSingleCore(t)
+
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", out, err)
+	}
+	for _, w := range widths {
+		t.Logf("width %2d: unsharded %.0fms (%.1f jobs/s) -> sharded %.0fms (%.1f jobs/s), %.2fx",
+			w.Width, w.UnshardedMS, w.UnshardedJobsPerS, w.ShardedMS, w.ShardedJobsPerS, w.Speedup)
+	}
+	t.Logf("wrote %s: GetOrBuild hit %dns -> %dns (%.2fx, %d allocs/op) on %d core(s)",
+		out, b.Micro1ShardNsOp, b.MicroShardedNsOp, b.MicroSpeedup, b.MicroAllocsPerOp, b.GOMAXPROCS)
+}

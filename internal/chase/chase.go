@@ -58,6 +58,13 @@ type Config struct {
 	// Cache enables the star-view cache (§5.2). CacheCap bounds it.
 	Cache    bool
 	CacheCap int
+	// CacheShards sets the star-view cache's lock-stripe count; keys are
+	// hashed over the shards so concurrent workers rarely share a mutex.
+	// 0 (the default) auto-sizes to match.DefaultShards(); other values
+	// round up to a power of two, and 1 gives the un-striped cache.
+	// Output is byte-identical for every setting — sharding only changes
+	// which star tables get rebuilt, never their contents.
+	CacheShards int
 	// Prune enables the cl⁺ pruning strategies of Lemma 5.5.
 	Prune bool
 	// MaxOpsPerClass caps how many picky operators one state generates
@@ -264,7 +271,7 @@ func newWhyWith(g *graph.Graph, q *query.Query, e *exemplar.Exemplar, cfg Config
 	// same graph stay race-free.
 	g.WarmCaches()
 	if cache == nil && cfg.Cache {
-		cache = match.NewCache(cfg.CacheCap, 0.95)
+		cache = match.NewCacheSharded(cfg.CacheCap, 0.95, cfg.CacheShards)
 	}
 	w.Matcher = match.NewMatcher(g, w.Dist, cache)
 	w.FocusCands = g.NodesByLabel(q.Nodes[q.Focus].Label)

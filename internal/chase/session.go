@@ -51,7 +51,7 @@ func NewSession(g *graph.Graph, cfg Config) *Session {
 		clock: time.Now,
 	}
 	if cfg.Cache {
-		s.cache = match.NewCache(cfg.CacheCap, 0.95)
+		s.cache = match.NewCacheSharded(cfg.CacheCap, 0.95, cfg.CacheShards)
 	}
 	return s
 }

@@ -359,10 +359,33 @@ func (p *PLL) Dist(s, t graph.NodeID) int {
 	return int(best)
 }
 
-// Within reports dist(s, t) ≤ bound.
+// Within reports dist(s, t) ≤ bound without computing the exact
+// distance: the label merge returns on the first landmark pair whose
+// distance sum meets the bound. Bounded reachability is the matcher's
+// dominant query shape (every pattern-edge check is a Within), and most
+// true answers are certified by the first few (highest-rank) landmarks,
+// so the early exit skips the bulk of both label lists.
 func (p *PLL) Within(s, t graph.NodeID, bound int) bool {
-	d := p.Dist(s, t)
-	return d != graph.Unreachable && d <= bound
+	if s == t {
+		return bound >= 0
+	}
+	ls, lt := p.out[s], p.in[t]
+	i, j := 0, 0
+	for i < len(ls) && j < len(lt) {
+		switch {
+		case ls[i].rank < lt[j].rank:
+			i++
+		case ls[i].rank > lt[j].rank:
+			j++
+		default:
+			if int(ls[i].d)+int(lt[j].d) <= bound {
+				return true
+			}
+			i++
+			j++
+		}
+	}
+	return false
 }
 
 // LabelSize returns the total number of label entries, a measure of

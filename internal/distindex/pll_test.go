@@ -94,6 +94,38 @@ func TestWithin(t *testing.T) {
 	}
 }
 
+// TestWithinAgreesWithDist pins the early-exit fast path to the
+// definition Within(s,t,b) ⇔ Dist(s,t) ≤ b on every pair, every bound
+// up to the diameter and past it, across graph regimes — including the
+// self-pair and negative-bound edges the merge loop never reaches.
+func TestWithinAgreesWithDist(t *testing.T) {
+	shapes := []struct{ n, m int }{
+		{12, 15},  // sparse, likely disconnected
+		{20, 60},  // medium
+		{15, 120}, // dense
+		{10, 0},   // edgeless: Within must be false off the diagonal
+	}
+	for _, sh := range shapes {
+		for seed := int64(1); seed <= 4; seed++ {
+			g := randomGraph(sh.n, sh.m, seed)
+			pll := NewPLL(g)
+			for a := 0; a < sh.n; a++ {
+				for b := 0; b < sh.n; b++ {
+					s, u := graph.NodeID(a), graph.NodeID(b)
+					d := pll.Dist(s, u)
+					for bound := -1; bound <= sh.n+1; bound++ {
+						want := d != graph.Unreachable && d <= bound
+						if got := pll.Within(s, u, bound); got != want {
+							t.Fatalf("n=%d m=%d seed=%d: Within(%d,%d,%d)=%v, Dist=%d",
+								sh.n, sh.m, seed, a, b, bound, got, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestAutoSelection(t *testing.T) {
 	small := randomGraph(10, 12, 1)
 	if _, ok := Auto(small).(*BFS); !ok {

@@ -1,0 +1,62 @@
+package cache
+
+import "sync"
+
+// Striped mirrors the sharded star-view cache: a slice of stripes, each
+// owning its own mutex and guarded state. lockcheck must bind an
+// element's guarded fields to that element's mutex — taking some other
+// stripe's lock (or none) does not discharge the requirement.
+type Striped struct {
+	shards []stripe
+}
+
+// stripe is one lock stripe.
+type stripe struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Add locks the owning stripe before touching its state: clean.
+func (s *Striped) Add(i, d int) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.n += d
+}
+
+// Peek reads a stripe's guarded field with no lock at all: flagged at
+// the access.
+func (s *Striped) Peek(i int) int {
+	return s.shards[i].n // want lockcheck
+}
+
+// bump relies on its caller holding the stripe's mutex; the call graph
+// verifies every caller locks first.
+func (sh *stripe) bump() {
+	sh.n++
+}
+
+// Bump discharges bump's requirement at the callsite: clean.
+func (s *Striped) Bump(i int) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.bump()
+}
+
+// BumpRacy calls the lock-requiring helper without any lock: flagged at
+// the callsite with the witness chain.
+func (s *Striped) BumpRacy(i int) {
+	s.shards[i].bump() // want lockcheck
+}
+
+// Total documents why an unlocked sweep over the stripes is tolerated
+// in the fixture (a real cache would use atomics for aggregates).
+func (s *Striped) Total() int {
+	t := 0
+	for i := range s.shards {
+		//lint:ignore lockcheck fixture for the striped suppression path
+		t += s.shards[i].n
+	}
+	return t
+}

@@ -2,7 +2,9 @@ package match
 
 import (
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxDecayAge caps the exponent of the closed-form hit decay. At the
@@ -11,28 +13,52 @@ import (
 // extreme exponents.
 const maxDecayAge = 1 << 12
 
-// Cache is the global star-view cache of §5.2. Entries are keyed by the
-// structural star key; each use bumps a hit counter that decays with a
-// time factor, and when the cache is full the least-hit entry is
-// evicted (ties broken on the smallest key, so eviction is
-// deterministic).
+// Cache is the global star-view cache of §5.2, lock-striped so that the
+// cross-question batch engine's workers do not serialize on one mutex.
+// The star key is hashed (FNV-1a) onto one of a power-of-two number of
+// shards; each shard owns its own mutex, tick counter, entry map, and
+// in-flight singleflight table, so two workers touching different stars
+// contend only when their keys land on the same stripe.
 //
-// Concurrent misses on the same key are collapsed by GetOrBuild: the
-// first caller builds the table while the rest block on the in-flight
-// build, so a beam level fanning out over near-identical rewrites
-// materializes each star once instead of once per worker.
+// Entries are keyed by the structural star key; each use bumps a hit
+// counter that decays with a per-shard time factor, and when a shard is
+// full the least-hit entry *of that shard* is evicted (ties broken on
+// the smallest key, so eviction is deterministic). Per-shard eviction
+// preserves the engine's byte-identical-output guarantee: a cached star
+// table is a pure function of its key, so cache organization can only
+// change which tables get rebuilt — never what a table contains — and
+// rewrite ranking never reads cache statistics.
+//
+// Concurrent misses on the same key are collapsed per shard by
+// GetOrBuild: the first caller builds the table while the rest block on
+// the in-flight build, so a beam level fanning out over near-identical
+// rewrites materializes each star once instead of once per worker.
+//
+// Global hit/miss/tick/size statistics live in atomic counters, so
+// Stats and Len never touch a shard mutex.
 type Cache struct {
-	// mu guards every mutable field below; cap and decay are immutable
-	// after construction.
-	mu    sync.Mutex
+	// shards has power-of-two length; mask == len(shards)-1.
+	shards []cacheShard
+	mask   uint32
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	ticks  atomic.Int64
+	size   atomic.Int64
+}
+
+// cacheShard is one stripe of the cache: an independent decaying map
+// with its own lock, logical clock, and singleflight table.
+type cacheShard struct {
+	// cap and decay are immutable after construction.
 	cap   int
 	decay float64
 
+	// mu guards every mutable field below.
+	mu       sync.Mutex
 	tick     int64                  // guarded by mu
 	entries  map[string]*cacheEntry // guarded by mu
 	inflight map[string]*flight     // guarded by mu
-
-	hits, misses int64 // guarded by mu
 }
 
 type cacheEntry struct {
@@ -42,126 +68,253 @@ type cacheEntry struct {
 }
 
 // flight is one in-progress star-table build other callers can wait on.
-// table is written exactly once, before done is closed; waiters read it
-// only after <-done, so the handoff is race-free without a lock.
+// table and failed are written exactly once, before done is closed;
+// waiters read them only after <-done, so the handoff is race-free
+// without a lock. failed marks a build that panicked: its waiters must
+// not trust table and instead retry with a fresh flight.
 type flight struct {
-	done  chan struct{}
-	table *StarTable
+	done   chan struct{}
+	table  *StarTable
+	failed bool
 }
 
-// NewCache returns a star-view cache holding at most capacity tables.
-// The decay factor (0 < decay ≤ 1) halves stale hit counts roughly
-// every 1/(1−decay) uses; 0.95 is a good default.
+// DefaultShards is the shard count used when none is requested:
+// nextPow2(4×GOMAXPROCS). Four stripes per logical CPU keeps the
+// probability of two concurrently active workers hashing onto the same
+// stripe low without inflating per-shard bookkeeping.
+func DefaultShards() int {
+	return nextPow2(4 * runtime.GOMAXPROCS(0))
+}
+
+// nextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NewCache returns a star-view cache holding at most capacity tables,
+// striped over DefaultShards() shards. The decay factor
+// (0 < decay ≤ 1) halves stale hit counts roughly every 1/(1−decay)
+// uses; 0.95 is a good default.
 func NewCache(capacity int, decay float64) *Cache {
+	return NewCacheSharded(capacity, decay, 0)
+}
+
+// NewCacheSharded is NewCache with an explicit shard count: shards ≤ 0
+// means DefaultShards(), anything else is rounded up to the next power
+// of two (1 gives the un-striped cache of earlier revisions). The
+// capacity splits as capacity/N per shard with the remainder going to
+// the low shards; every shard holds at least one table, so the
+// effective total capacity is max(capacity, N).
+func NewCacheSharded(capacity int, decay float64, shards int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
 	if decay <= 0 || decay > 1 {
 		decay = 0.95
 	}
-	return &Cache{
-		cap:      capacity,
-		decay:    decay,
-		entries:  map[string]*cacheEntry{},
-		inflight: map[string]*flight{},
+	if shards <= 0 {
+		shards = DefaultShards()
 	}
+	shards = nextPow2(shards)
+	c := &Cache{
+		shards: make([]cacheShard, shards),
+		mask:   uint32(shards - 1),
+	}
+	base, rem := capacity/shards, capacity%shards
+	for i := range c.shards {
+		sc := base
+		if i < rem {
+			sc++
+		}
+		if sc < 1 {
+			sc = 1
+		}
+		c.shards[i] = cacheShard{
+			cap:      sc,
+			decay:    decay,
+			entries:  map[string]*cacheEntry{},
+			inflight: map[string]*flight{},
+		}
+	}
+	return c
+}
+
+// Shards returns the cache's shard count (a power of two).
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shardFor maps a star key onto its owning shard with the 32-bit
+// FNV-1a hash (inlined: the hash/fnv wrapper would allocate a hasher
+// and a byte-slice conversion on every lookup).
+func (c *Cache) shardFor(key string) *cacheShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &c.shards[h&c.mask]
 }
 
 // Get returns the cached star table for key, bumping its decayed hit
 // count, or nil.
 func (c *Cache) Get(key string) *StarTable {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.tick++
-	e, ok := c.entries[key]
+	c.ticks.Add(1)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	e, ok := s.entries[key]
 	if !ok {
-		c.misses++
+		c.misses.Add(1)
 		return nil
 	}
-	c.hits++
-	c.bumpLocked(e)
+	c.hits.Add(1)
+	s.bumpLocked(e)
 	return e.table
 }
 
 // GetOrBuild returns the table for key, building it with build on a
 // miss. Concurrent callers missing on the same key share one build: the
-// first caller runs build (outside the cache lock), the rest block
+// first caller runs build (outside any cache lock), the rest block
 // until it finishes and return the same table. Every sharing caller is
 // still counted as a miss — they did miss; the singleflight only
 // de-duplicates the work.
+//
+// A panicking build does not poison the key: runFlight's deferred
+// cleanup marks the flight failed, closes it, removes the in-flight
+// entry, and lets the panic continue to the builder's caller, while
+// blocked waiters wake and retry with a fresh flight (the first
+// retrier becomes the new builder). Waiters therefore always complete
+// — or inherit a panic from their own build attempt, never someone
+// else's.
 func (c *Cache) GetOrBuild(key string, build func() *StarTable) *StarTable {
-	c.mu.Lock()
-	c.tick++
-	if e, ok := c.entries[key]; ok {
-		c.hits++
-		c.bumpLocked(e)
-		t := e.table
-		c.mu.Unlock()
-		return t
+	s := c.shardFor(key)
+	for {
+		t, f, owner := s.lookup(c, key)
+		switch {
+		case t != nil:
+			return t
+		case owner:
+			return s.runFlight(c, key, f, build)
+		default:
+			<-f.done
+			if !f.failed {
+				return f.table
+			}
+			// The builder panicked; race for a fresh flight.
+		}
 	}
-	c.misses++
-	if f, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		<-f.done
-		return f.table
+}
+
+// lookup is GetOrBuild's locked phase: a hit returns the table; a miss
+// returns the flight to wait on, or a freshly registered flight with
+// owner=true when this caller must run the build.
+func (s *cacheShard) lookup(c *Cache, key string) (t *StarTable, f *flight, owner bool) {
+	c.ticks.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	if e, ok := s.entries[key]; ok {
+		c.hits.Add(1)
+		s.bumpLocked(e)
+		return e.table, nil, false
 	}
-	f := &flight{done: make(chan struct{})}
-	c.inflight[key] = f
-	c.mu.Unlock()
+	c.misses.Add(1)
+	if in, ok := s.inflight[key]; ok {
+		return nil, in, false
+	}
+	f = &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	return nil, f, true
+}
+
+// runFlight executes one singleflight build (outside the shard lock)
+// and publishes its outcome: on success the flight resolves to the
+// table and the entry is inserted; on panic the deferred handler marks
+// the flight failed, closes it, and deletes the in-flight entry —
+// waking every waiter — before the panic continues to the caller.
+// Without that cleanup a panicking build would leave the flight open
+// and the key's waiters blocked forever.
+func (s *cacheShard) runFlight(c *Cache, key string, f *flight, build func() *StarTable) *StarTable {
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		f.failed = true
+		close(f.done)
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+	}()
 
 	t := build()
 
 	f.table = t
 	close(f.done)
-	c.mu.Lock()
-	delete(c.inflight, key)
-	c.tick++
-	c.putLocked(key, t)
-	c.mu.Unlock()
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.tick++
+	s.putLocked(c, key, t)
+	s.mu.Unlock()
+	committed = true
 	return t
 }
 
 // bumpLocked applies the time decay then counts one hit. The decay is
-// the closed form decay^age — a per-tick loop here would spin for the
-// whole age under the lock, which after a long miss streak (ticks
-// advance on every access, hits or not) meant millions of iterations
-// for a single bump. The caller must hold c.mu.
-func (c *Cache) bumpLocked(e *cacheEntry) {
-	if age := c.tick - e.lastTick; age > maxDecayAge {
+// the closed form decay^age over the shard's own tick clock — a
+// per-tick loop here would spin for the whole age under the lock, which
+// after a long miss streak (ticks advance on every shard access, hits
+// or not) meant millions of iterations for a single bump. The caller
+// must hold s.mu.
+func (s *cacheShard) bumpLocked(e *cacheEntry) {
+	if age := s.tick - e.lastTick; age > maxDecayAge {
 		e.hits = 0 // decay^age underflows any meaningful hit mass
 	} else if age > 0 {
-		e.hits *= math.Pow(c.decay, float64(age))
+		e.hits *= math.Pow(s.decay, float64(age))
 	}
 	e.hits++
-	e.lastTick = c.tick
+	e.lastTick = s.tick
 }
 
-// Put stores a star table, evicting the least-hit entry when full.
+// Put stores a star table, evicting the owning shard's least-hit entry
+// when that shard is full.
 func (c *Cache) Put(key string, t *StarTable) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.tick++
-	c.putLocked(key, t)
+	c.ticks.Add(1)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	s.putLocked(c, key, t)
 }
 
-// putLocked inserts or refreshes an entry, evicting the least-hit entry
-// when full. Equal hit counts tie-break on the smallest key: the scan
-// runs in map order, and without the tie-break a full cache of
-// equal-hit entries would evict a randomly chosen one, making cache
-// contents — and downstream hit/miss stats — differ between identical
-// runs. The caller must hold c.mu.
-func (c *Cache) putLocked(key string, t *StarTable) {
-	if e, ok := c.entries[key]; ok {
+// putLocked inserts or refreshes an entry, evicting the shard's
+// least-hit entry when the shard is full. Equal hit counts tie-break on
+// the smallest key: the scan runs in map order, and without the
+// tie-break a full shard of equal-hit entries would evict a randomly
+// chosen one, making cache contents — and downstream hit/miss stats —
+// differ between identical runs. Eviction is deterministic per shard,
+// and the shard a key lives on is a pure function of the key, so
+// whole-cache contents are reproducible too. The caller must hold s.mu.
+func (s *cacheShard) putLocked(c *Cache, key string, t *StarTable) {
+	if e, ok := s.entries[key]; ok {
 		e.table = t
-		c.bumpLocked(e)
+		s.bumpLocked(e)
 		return
 	}
-	if len(c.entries) >= c.cap {
+	if len(s.entries) >= s.cap {
 		worstKey := ""
 		worst := 0.0
 		first := true
-		//lint:ignore detsource eviction scans the whole map and tie-breaks on smallest key, so order cannot matter
-		for k, e := range c.entries {
+		//lint:ignore detsource eviction scans the whole shard map and tie-breaks on smallest key, so order cannot matter
+		for k, e := range s.entries {
 			switch {
 			case first:
 				worstKey, worst, first = k, e.hits, false
@@ -172,21 +325,29 @@ func (c *Cache) putLocked(key string, t *StarTable) {
 				worstKey = k
 			}
 		}
-		delete(c.entries, worstKey)
+		delete(s.entries, worstKey)
+		c.size.Add(-1)
 	}
-	c.entries[key] = &cacheEntry{table: t, hits: 1, lastTick: c.tick}
+	s.entries[key] = &cacheEntry{table: t, hits: 1, lastTick: s.tick}
+	c.size.Add(1)
 }
 
-// Len returns the number of cached tables.
+// Len returns the number of cached tables, from the atomic size
+// counter — it never takes a shard lock.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	return int(c.size.Load())
 }
 
-// Stats returns cumulative hit and miss counts.
+// Stats returns cumulative hit and miss counts, from the atomic
+// counters — it never takes a shard lock. The counts are exact; only
+// their split between concurrent callers racing on one key is
+// timing-dependent (and rewrite ranking never reads them).
 func (c *Cache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Ticks returns the total number of cache accesses (Get, GetOrBuild
+// lookups, and Put calls) across all shards.
+func (c *Cache) Ticks() int64 {
+	return c.ticks.Load()
 }

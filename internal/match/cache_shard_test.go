@@ -1,0 +1,190 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestShardCountResolution pins the shard-count rules: ≤0 means
+// DefaultShards(), other values round up to the next power of two.
+func TestShardCountResolution(t *testing.T) {
+	if got := NewCache(64, 0.95).Shards(); got != DefaultShards() {
+		t.Fatalf("NewCache shards = %d, want DefaultShards() = %d", got, DefaultShards())
+	}
+	for _, tc := range []struct{ in, want int }{
+		{-1, DefaultShards()}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := NewCacheSharded(64, 0.95, tc.in).Shards(); got != tc.want {
+			t.Errorf("NewCacheSharded(shards=%d) = %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestShardCapacitySplit checks capacity/N per shard with the remainder
+// on the low shards, and the ≥1-per-shard floor.
+func TestShardCapacitySplit(t *testing.T) {
+	c := NewCacheSharded(10, 0.95, 4)
+	want := []int{3, 3, 2, 2} // 10/4 = 2 rem 2 → shards 0,1 get the extra
+	for i := range c.shards {
+		if c.shards[i].cap != want[i] {
+			t.Errorf("shard %d cap = %d, want %d", i, c.shards[i].cap, want[i])
+		}
+	}
+	// Capacity below the shard count: every shard still holds one table.
+	tiny := NewCacheSharded(2, 0.95, 8)
+	for i := range tiny.shards {
+		if tiny.shards[i].cap != 1 {
+			t.Errorf("tiny shard %d cap = %d, want the floor of 1", i, tiny.shards[i].cap)
+		}
+	}
+}
+
+// TestShardMappingStable checks the FNV-1a shard mapping is a pure
+// function of the key and spreads a realistic star-key population over
+// every stripe.
+func TestShardMappingStable(t *testing.T) {
+	c := NewCacheSharded(1024, 0.95, 4)
+	seen := make(map[*cacheShard]bool)
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("g1|star|c=phone|e%d>store@2", i)
+		sh := c.shardFor(key)
+		if c.shardFor(key) != sh {
+			t.Fatalf("shard mapping for %q not stable", key)
+		}
+		seen[sh] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("256 star keys landed on %d of 4 shards; FNV-1a spread broken", len(seen))
+	}
+}
+
+// TestShardedEvictionDeterministic is the sharded-eviction determinism
+// gate: a 2-shard cache is filled to capacity by concurrent workers
+// (equal-hit entries — each key inserted exactly once, never read), the
+// overflow inserts then evict deterministically, and the evicted key
+// set must be byte-identical across 10 seeded runs. Run under -race
+// (make race) this also proves the per-shard lock discipline while the
+// interleavings vary; determinism must hold anyway, because eviction
+// scans a shard's map with the smallest-key tie-break and the shard a
+// key lives on is a pure function of the key — the fill *order* never
+// matters once the fill *set* is fixed.
+func TestShardedEvictionDeterministic(t *testing.T) {
+	const (
+		capacity = 8
+		shards   = 2
+		fill     = capacity // fills both shards exactly to capacity
+		overflow = 6
+		workers  = 4
+		runs     = 10
+	)
+	// Pick fill keys that land capacity/2 on each shard so the fill
+	// phase itself never evicts (insertion order into a non-full shard
+	// cannot change its final set).
+	probe := NewCacheSharded(capacity, 0.95, shards)
+	var fillKeys []string
+	perShard := make(map[*cacheShard]int)
+	for i := 0; len(fillKeys) < fill; i++ {
+		k := fmt.Sprintf("fill-%03d", i)
+		sh := probe.shardFor(k)
+		if perShard[sh] < capacity/shards {
+			perShard[sh]++
+			fillKeys = append(fillKeys, k)
+		}
+	}
+	overflowKeys := make([]string, overflow)
+	for i := range overflowKeys {
+		overflowKeys[i] = fmt.Sprintf("over-%03d", i)
+	}
+
+	victims := func(seed int) string {
+		c := NewCacheSharded(capacity, 0.95, shards)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Each worker inserts a seeded, disjoint stripe of the fill
+				// set; the interleaving across workers is up to the
+				// scheduler.
+				for i := w; i < len(fillKeys); i += workers {
+					c.Put(fillKeys[(i+seed)%len(fillKeys)], &StarTable{})
+				}
+			}(w)
+		}
+		wg.Wait()
+		if n := c.Len(); n != capacity {
+			t.Fatalf("seed %d: fill phase holds %d entries, want %d (no evictions)", seed, n, capacity)
+		}
+		for _, k := range overflowKeys {
+			c.Put(k, &StarTable{})
+		}
+		var evicted []string
+		for _, k := range append(append([]string{}, fillKeys...), overflowKeys...) {
+			sh := c.shardFor(k)
+			sh.mu.Lock()
+			_, present := sh.entries[k]
+			sh.mu.Unlock()
+			if !present {
+				evicted = append(evicted, k)
+			}
+		}
+		sort.Strings(evicted)
+		return strings.Join(evicted, ",")
+	}
+
+	ref := victims(0)
+	if ref == "" {
+		t.Fatal("overflow inserts evicted nothing; the test exercises no eviction")
+	}
+	for seed := 1; seed < runs; seed++ {
+		if got := victims(seed); got != ref {
+			t.Fatalf("seed %d evicted {%s}, seed 0 evicted {%s}: sharded eviction is order-dependent", seed, got, ref)
+		}
+	}
+}
+
+// TestShardedStatsAtomic checks Len/Stats/Ticks hold exact aggregates
+// across shards without locking: the counts must add up after a burst
+// of cross-shard traffic.
+func TestShardedStatsAtomic(t *testing.T) {
+	c := NewCacheSharded(64, 0.95, 4)
+	const keys = 32
+	for i := 0; i < keys; i++ {
+		c.Put(fmt.Sprintf("k%02d", i), &StarTable{})
+	}
+	if n := c.Len(); n != keys {
+		t.Fatalf("Len = %d after %d distinct puts, want %d", n, keys, keys)
+	}
+	for i := 0; i < keys; i++ {
+		if c.Get(fmt.Sprintf("k%02d", i)) == nil {
+			t.Fatalf("k%02d missing", i)
+		}
+	}
+	c.Get("absent")
+	hits, misses := c.Stats()
+	if hits != keys || misses != 1 {
+		t.Fatalf("Stats = (%d, %d), want (%d, 1)", hits, misses, keys)
+	}
+	if ticks := c.Ticks(); ticks != int64(2*keys+1) {
+		t.Fatalf("Ticks = %d, want %d", ticks, 2*keys+1)
+	}
+}
+
+// TestSingleShardMatchesLegacySemantics pins that shards=1 reproduces
+// the un-striped cache: whole-cache capacity, global smallest-key
+// eviction, one singleflight table.
+func TestSingleShardMatchesLegacySemantics(t *testing.T) {
+	c := NewCacheSharded(3, 0.95, 1)
+	for _, k := range []string{"c", "a", "b", "d"} {
+		c.Put(k, &StarTable{})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want capacity 3", c.Len())
+	}
+	if c.Get("a") != nil {
+		t.Fatal("single-shard eviction should have dropped the smallest key \"a\"")
+	}
+}

@@ -11,15 +11,16 @@ import (
 // TestBumpSurvivesHugeTickGap is the regression test for the O(age)
 // decay spin: bumping an entry whose last touch lies a trillion ticks
 // in the past must complete instantly (the old per-tick loop under the
-// cache lock would run for minutes). The decayed mass must be flushed
+// shard lock would run for minutes). The decayed mass must be flushed
 // to exactly one fresh hit.
 func TestBumpSurvivesHugeTickGap(t *testing.T) {
 	c := NewCache(8, 0.95)
 	c.Put("k", &StarTable{})
 
-	c.mu.Lock()
-	c.tick += 1_000_000_000_000 // simulate a very long miss streak
-	c.mu.Unlock()
+	sh := c.shardFor("k")
+	sh.mu.Lock()
+	sh.tick += 1_000_000_000_000 // simulate a very long miss streak
+	sh.mu.Unlock()
 
 	start := time.Now()
 	if c.Get("k") == nil {
@@ -28,9 +29,9 @@ func TestBumpSurvivesHugeTickGap(t *testing.T) {
 	if d := time.Since(start); d > time.Second {
 		t.Fatalf("bump across a huge tick gap took %v; decay must be closed-form", d)
 	}
-	c.mu.Lock()
-	hits := c.entries["k"].hits
-	c.mu.Unlock()
+	sh.mu.Lock()
+	hits := sh.entries["k"].hits
+	sh.mu.Unlock()
 	if hits != 1 {
 		t.Fatalf("hits after full decay = %v, want exactly 1", hits)
 	}
@@ -42,14 +43,15 @@ func TestBumpClosedFormMatchesLoop(t *testing.T) {
 	const decay = 0.9
 	c := NewCache(8, decay)
 	c.Put("k", &StarTable{})
-	c.mu.Lock()
-	e := c.entries["k"]
+	sh := c.shardFor("k")
+	sh.mu.Lock()
+	e := sh.entries["k"]
 	e.hits = 5
 	age := int64(37)
-	c.tick = e.lastTick + age
-	c.bumpLocked(e)
+	sh.tick = e.lastTick + age
+	sh.bumpLocked(e)
 	got := e.hits
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	want := 5.0
 	for i := int64(0); i < age; i++ {
@@ -61,12 +63,14 @@ func TestBumpClosedFormMatchesLoop(t *testing.T) {
 	}
 }
 
-// TestEvictionDeterministicOnTies fills a cache with equal-hit entries
-// and checks the eviction victim is always the smallest key, run after
-// run — map iteration order must not leak into cache contents.
+// TestEvictionDeterministicOnTies fills a single-shard cache with
+// equal-hit entries and checks the eviction victim is always the
+// smallest key, run after run — map iteration order must not leak into
+// cache contents. (Single shard pins every key onto one eviction scan;
+// the sharded variants live in cache_shard_test.go.)
 func TestEvictionDeterministicOnTies(t *testing.T) {
 	for run := 0; run < 20; run++ {
-		c := NewCache(4, 0.95)
+		c := NewCacheSharded(4, 0.95, 1)
 		for _, k := range []string{"d", "b", "c", "a"} {
 			c.Put(k, &StarTable{})
 		}
@@ -137,5 +141,81 @@ func TestGetOrBuildHitSkipsBuild(t *testing.T) {
 	hits, _ := c.Stats()
 	if hits != 1 {
 		t.Fatalf("hits = %d, want 1", hits)
+	}
+}
+
+// TestGetOrBuildPanicDoesNotLeakFlight is the regression test for the
+// singleflight panic leak: before the fix, a panicking build left
+// f.done open and the inflight entry in place, so every concurrent and
+// future caller of the same key blocked forever. Now the panic must
+// propagate to the panicking builder's caller, a waiter blocked on the
+// doomed flight must wake and complete with its own build, and a fresh
+// caller must find no stale in-flight state.
+func TestGetOrBuildPanicDoesNotLeakFlight(t *testing.T) {
+	c := NewCache(8, 0.95)
+	want := &StarTable{}
+	inBuild := make(chan struct{})
+	release := make(chan struct{})
+
+	// A waiter that arrives while the doomed build is in flight. It
+	// must not inherit the panic — it retries and builds successfully.
+	waiterDone := make(chan *StarTable, 1)
+	go func() {
+		<-inBuild
+		waiterDone <- c.GetOrBuild("boom", func() *StarTable { return want })
+	}()
+
+	panicked := make(chan interface{}, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.GetOrBuild("boom", func() *StarTable {
+			close(inBuild)
+			<-release // hold the flight open until the waiter is queued
+			panic("star build exploded")
+		})
+	}()
+
+	<-inBuild
+	// Give the waiter a moment to block on the in-flight build before
+	// the builder panics; correctness does not depend on winning this
+	// race (a late waiter just becomes the fresh builder).
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	if r := <-panicked; r == nil {
+		t.Fatal("the panicking builder's caller must see the panic")
+	} else if r != "star build exploded" {
+		t.Fatalf("panic value = %v, want the original", r)
+	}
+
+	select {
+	case got := <-waiterDone:
+		if got != want {
+			t.Fatalf("waiter completed with %p, want its own rebuild %p", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after the build panicked: flight leaked")
+	}
+
+	// A fresh caller must complete too, and the key must be buildable.
+	done := make(chan *StarTable, 1)
+	go func() {
+		done <- c.GetOrBuild("boom", func() *StarTable { return want })
+	}()
+	select {
+	case got := <-done:
+		if got != want {
+			t.Fatalf("fresh caller got %p, want %p", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fresh caller blocked: stale inflight entry survived the panic")
+	}
+
+	sh := c.shardFor("boom")
+	sh.mu.Lock()
+	stale := len(sh.inflight)
+	sh.mu.Unlock()
+	if stale != 0 {
+		t.Fatalf("%d in-flight entries left behind, want 0", stale)
 	}
 }

@@ -287,7 +287,9 @@ func TestStarKeyFocusLiteralInvariance(t *testing.T) {
 }
 
 func TestCacheEviction(t *testing.T) {
-	c := NewCache(2, 0.95)
+	// Single shard: whole-cache capacity semantics, so three keys must
+	// contend for two slots regardless of how they hash.
+	c := NewCacheSharded(2, 0.95, 1)
 	t1, t2, t3 := &StarTable{}, &StarTable{}, &StarTable{}
 	c.Put("a", t1)
 	c.Put("b", t2)
@@ -312,7 +314,9 @@ func TestCacheEviction(t *testing.T) {
 }
 
 func TestCacheDecay(t *testing.T) {
-	c := NewCache(2, 0.5)
+	// Single shard: decay rides the shard's tick clock, so the keys
+	// must share one shard for Get("new") traffic to age "old".
+	c := NewCacheSharded(2, 0.5, 1)
 	c.Put("old", &StarTable{})
 	for i := 0; i < 10; i++ {
 		c.Get("old")

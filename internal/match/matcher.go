@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"wqe/internal/distindex"
 	"wqe/internal/graph"
@@ -25,18 +26,26 @@ type Matcher struct {
 	// keyPrefix is the per-graph cache-key prefix ("g<uid>|"), hoisted
 	// out of the per-star key construction on the Match hot path.
 	keyPrefix string
+
+	// vpool recycles verifiers (and all their scratch: order, maps,
+	// per-depth constraint buffers, the distance memo) across Match
+	// calls, so the per-question beam loop stops allocating a fresh
+	// working set for every rewrite it evaluates.
+	vpool sync.Pool
 }
 
 // NewMatcher returns a matcher over g using the given distance oracle
 // and an optional star-view cache (nil disables caching).
 func NewMatcher(g *graph.Graph, dist distindex.Index, cache *Cache) *Matcher {
-	return &Matcher{
+	m := &Matcher{
 		G:     g,
 		Dist:  dist,
 		Cache: cache,
 		// The graph uid keeps one cache safe to share across graphs.
 		keyPrefix: "g" + strconv.FormatUint(g.UID(), 10) + "|",
 	}
+	m.vpool.New = func() interface{} { return &verifier{m: m} }
+	return m
 }
 
 // StarInstance binds one star of the current query to its materialized
@@ -103,13 +112,14 @@ func (m *Matcher) Match(q *query.Query) *Result {
 	// Focus pool: candidates supported by every star under the current
 	// focus literals.
 	pool := res.Candidates[q.Focus]
-	supports := make([]map[graph.NodeID]bool, len(res.Stars))
-	for i, inst := range res.Stars {
-		supports[i] = inst.Table.FocusSupport(m.G, q)
+	v := m.vpool.Get().(*verifier)
+	v.q, v.cands, v.stars = q, res.Candidates, res.Stars
+	v.prepare()
+	supports := v.supports
+	for _, inst := range res.Stars {
+		supports = append(supports, inst.Table.FocusSupport(m.G, q))
 	}
 	var verified []graph.NodeID
-	v := &verifier{m: m, q: q, cands: res.Candidates, stars: res.Stars}
-	v.prepare()
 outer:
 	for _, cand := range pool {
 		for _, sup := range supports {
@@ -123,7 +133,21 @@ outer:
 	}
 	sort.Slice(verified, func(i, j int) bool { return verified[i] < verified[j] })
 	res.Answer = verified
+	v.supports = supports
+	m.release(v)
 	return res
+}
+
+// release returns a verifier to the pool, dropping every reference that
+// would pin a query, result, or support map past the Match that made
+// it; the slices and maps themselves stay allocated for reuse.
+func (m *Matcher) release(v *verifier) {
+	v.q, v.cands, v.stars = nil, nil, nil
+	for i := range v.supports {
+		v.supports[i] = nil
+	}
+	v.supports = v.supports[:0]
+	m.vpool.Put(v)
 }
 
 // columnMap matches the current star's edges to the table's columns by
@@ -166,6 +190,21 @@ type verifier struct {
 	// column: the materialized partner list for that edge anchored at a
 	// center match.
 	colFor map[enumKey]enumRef
+
+	// supports holds the per-star focus-support sets for the current
+	// Match (scratch owned here so the pool recycles its backing array).
+	supports []map[graph.NodeID]bool
+	// seen is prepare's BFS visited set, reused across Match calls.
+	seen []bool
+	// cons holds one edge-constraint buffer per search depth: extend at
+	// depth d fills cons[d] while the frames below it still hold theirs.
+	cons [][]edgeConstraint
+	// dmemo caches Within verdicts per (source, target) node pair for
+	// the duration of one Match. The backtracking search re-tests the
+	// same pairs across candidates and depths; the memo answers repeats
+	// without touching the distance oracle. See memoWithin for the
+	// bound encoding.
+	dmemo map[int64]int32
 }
 
 type enumKey struct {
@@ -180,7 +219,11 @@ type enumRef struct {
 
 func (v *verifier) prepare() {
 	q := v.q
-	seen := make([]bool, len(q.Nodes))
+	seen := v.seen[:0]
+	for range q.Nodes {
+		seen = append(seen, false)
+	}
+	v.seen = seen
 	// Isolated non-focus nodes pose no constraint (query.IsolatedIgnored)
 	// and are excluded from the valuation entirely.
 	for u := range q.Nodes {
@@ -209,14 +252,30 @@ func (v *verifier) prepare() {
 			}
 		}
 	}
-	v.h = make([]graph.NodeID, len(q.Nodes))
-	v.used = map[graph.NodeID]bool{}
-	v.checks = make([]query.NodeCheck, len(q.Nodes))
+	v.h = v.h[:0]
+	for range q.Nodes {
+		v.h = append(v.h, -1)
+	}
+	if v.used == nil {
+		v.used = map[graph.NodeID]bool{}
+	} else {
+		clear(v.used)
+	}
+	v.checks = v.checks[:0]
 	for u := range q.Nodes {
-		v.checks[u] = q.Check(v.m.G, query.NodeID(u))
+		v.checks = append(v.checks, q.Check(v.m.G, query.NodeID(u)))
+	}
+	if v.dmemo == nil {
+		v.dmemo = map[int64]int32{}
+	} else {
+		clear(v.dmemo)
 	}
 
-	v.colFor = map[enumKey]enumRef{}
+	if v.colFor == nil {
+		v.colFor = map[enumKey]enumRef{}
+	} else {
+		clear(v.colFor)
+	}
 	for si, inst := range v.stars {
 		for k, se := range inst.Star.Edges {
 			if inst.Cols[k] < 0 {
@@ -252,13 +311,87 @@ type edgeConstraint struct {
 	out       bool // anchor → u in the pattern
 }
 
+// tryAssign extends the valuation with h(u) = w and recurses; the
+// assignment is rolled back on failure.
+func (v *verifier) tryAssign(u query.NodeID, w graph.NodeID, depth int) bool {
+	if v.used[w] {
+		return false
+	}
+	v.h[u] = w
+	v.used[w] = true
+	ok := v.extend(depth + 1)
+	v.h[u] = -1
+	delete(v.used, w)
+	return ok
+}
+
+// memoWithin is Dist.Within with a per-Match memo on the node pair.
+// The verdict is monotone in the bound — within at b implies within at
+// every b' ≥ b, and not-within at b implies not-within at every
+// b' ≤ b — so the memo stores two half-open certificates per pair,
+// packed into one int32: the high 16 bits hold minTrue+1 (the smallest
+// bound proven within; 0 = none yet) and the low 16 bits hold
+// maxFalse+1 (the largest bound proven exceeded; 0 = none yet). Only
+// queries falling in the unknown gap between the certificates reach
+// the oracle, and only Within is ever called — never exact Dist, which
+// on the BFS oracle would trade a bounded search for an unbounded one.
+func (v *verifier) memoWithin(s, t graph.NodeID, bound int) bool {
+	if bound < 0 || bound >= 1<<16-1 {
+		return v.m.Dist.Within(s, t, bound)
+	}
+	key := int64(s)<<32 | int64(uint32(t))
+	rec := v.dmemo[key]
+	minTrue := int(rec>>16) - 1
+	maxFalse := int(rec&0xffff) - 1
+	if minTrue >= 0 && bound >= minTrue {
+		return true
+	}
+	if maxFalse >= 0 && bound <= maxFalse {
+		return false
+	}
+	within := v.m.Dist.Within(s, t, bound)
+	if within {
+		minTrue = bound
+	} else {
+		maxFalse = bound
+	}
+	v.dmemo[key] = int32(minTrue+1)<<16 | int32(maxFalse+1)
+	return within
+}
+
+// checkRest verifies the remaining distance constraints on w (all but
+// cons[skip], which the enumeration source already guarantees).
+func (v *verifier) checkRest(cons []edgeConstraint, w graph.NodeID, skip int) bool {
+	for i, c := range cons {
+		if i == skip {
+			continue
+		}
+		var within bool
+		if c.out {
+			within = v.memoWithin(c.anchor, w, c.bound)
+		} else {
+			within = v.memoWithin(w, c.anchor, c.bound)
+		}
+		if !within {
+			return false
+		}
+	}
+	return true
+}
+
 func (v *verifier) extend(depth int) bool {
 	if depth == len(v.order) {
 		return true
 	}
 	u := v.order[depth]
 
-	var cons []edgeConstraint
+	// Per-depth constraint buffer: frames below this one still hold
+	// theirs, so the scratch is indexed by depth and kept on the
+	// verifier for reuse across candidates and Match calls.
+	for len(v.cons) <= depth {
+		v.cons = append(v.cons, nil)
+	}
+	cons := v.cons[depth][:0]
 	for ei, e := range v.q.Edges {
 		switch {
 		case e.From == u && v.h[e.To] >= 0:
@@ -269,22 +402,11 @@ func (v *verifier) extend(depth int) bool {
 				edge: ei, anchorPat: e.From, anchor: v.h[e.From], bound: e.Bound, out: true})
 		}
 	}
-
-	try := func(w graph.NodeID) bool {
-		if v.used[w] {
-			return false
-		}
-		v.h[u] = w
-		v.used[w] = true
-		ok := v.extend(depth + 1)
-		v.h[u] = -1
-		delete(v.used, w)
-		return ok
-	}
+	v.cons[depth] = cons
 
 	if len(cons) == 0 {
 		for _, w := range v.cands[u] {
-			if try(w) {
+			if v.tryAssign(u, w, depth) {
 				return true
 			}
 		}
@@ -312,24 +434,6 @@ func (v *verifier) extend(depth int) bool {
 		}
 	}
 
-	checkRest := func(w graph.NodeID, skip int) bool {
-		for i, c := range cons {
-			if i == skip {
-				continue
-			}
-			var within bool
-			if c.out {
-				within = v.m.Dist.Within(c.anchor, w, c.bound)
-			} else {
-				within = v.m.Dist.Within(w, c.anchor, c.bound)
-			}
-			if !within {
-				return false
-			}
-		}
-		return true
-	}
-
 	if bestList >= 0 {
 		needLitCheck := u == v.q.Focus // focus columns are label-only
 		for _, en := range list {
@@ -337,7 +441,7 @@ func (v *verifier) extend(depth int) bool {
 			if needLitCheck && !v.checks[u].Candidate(v.m.G, w) {
 				continue
 			}
-			if checkRest(w, bestList) && try(w) {
+			if v.checkRest(cons, w, bestList) && v.tryAssign(u, w, depth) {
 				return true
 			}
 		}
@@ -364,7 +468,7 @@ func (v *verifier) extend(depth int) bool {
 		if !v.checks[u].Candidate(v.m.G, w) {
 			continue
 		}
-		if checkRest(w, best) && try(w) {
+		if v.checkRest(cons, w, best) && v.tryAssign(u, w, depth) {
 			return true
 		}
 	}

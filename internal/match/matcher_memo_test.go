@@ -1,0 +1,132 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"wqe/internal/distindex"
+	"wqe/internal/graph"
+)
+
+// countingIndex wraps a distance oracle and counts calls, so tests can
+// prove the memo suppresses repeats and never escalates Within to an
+// exact (unbounded) Dist.
+type countingIndex struct {
+	inner   distindex.Index
+	dists   int
+	withins int
+}
+
+func (c *countingIndex) Dist(s, t graph.NodeID) int {
+	c.dists++
+	return c.inner.Dist(s, t)
+}
+
+func (c *countingIndex) Within(s, t graph.NodeID, bound int) bool {
+	c.withins++
+	return c.inner.Within(s, t, bound)
+}
+
+// TestMemoWithinAgreesWithOracle drives memoWithin through a random
+// mixed-bound query stream — repeats, bound walks up and down, both
+// directions of each pair — and checks every answer against a fresh
+// oracle. The up-and-down bound walks are the point: they land queries
+// on either side of and inside the memo's certificate gap.
+func TestMemoWithinAgreesWithOracle(t *testing.T) {
+	g := randomGraph(20, 50, 13)
+	oracle := distindex.NewBFS(g)
+	m := NewMatcher(g, oracle, nil)
+	v := m.vpool.Get().(*verifier)
+	v.dmemo = map[int64]int32{}
+
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 5000; i++ {
+		s := graph.NodeID(rng.Intn(20))
+		u := graph.NodeID(rng.Intn(20))
+		bound := rng.Intn(8) - 1 // includes -1
+		got := v.memoWithin(s, u, bound)
+		want := oracle.Within(s, u, bound)
+		if got != want {
+			t.Fatalf("query %d: memoWithin(%d,%d,%d) = %v, oracle says %v",
+				i, s, u, bound, got, want)
+		}
+	}
+}
+
+// TestMemoWithinSuppressesRepeats pins the memo's contract: an exact
+// repeat never reaches the oracle, a bound above a proven-within bound
+// (or below a proven-exceeded one) is answered from the certificate,
+// and the exact Dist method is never called at all — on the BFS oracle
+// an unbounded Dist would cost more than the bounded query it memoizes.
+func TestMemoWithinSuppressesRepeats(t *testing.T) {
+	g := randomGraph(20, 50, 13)
+	ci := &countingIndex{inner: distindex.NewBFS(g)}
+	m := NewMatcher(g, ci, nil)
+	v := m.vpool.Get().(*verifier)
+	v.dmemo = map[int64]int32{}
+
+	// Find a pair at a finite distance ≥ 2 so both certificate sides
+	// have room.
+	oracle := distindex.NewBFS(g)
+	var s, u graph.NodeID
+	d := -1
+	for a := 0; a < 20 && d < 0; a++ {
+		for b := 0; b < 20; b++ {
+			if dd := oracle.Dist(graph.NodeID(a), graph.NodeID(b)); dd >= 2 && dd < graph.Unreachable {
+				s, u, d = graph.NodeID(a), graph.NodeID(b), dd
+				break
+			}
+		}
+	}
+	if d < 0 {
+		t.Fatal("test graph has no pair at distance ≥ 2")
+	}
+
+	if !v.memoWithin(s, u, d) {
+		t.Fatalf("Within(%d,%d,%d) should hold at the exact distance", s, u, d)
+	}
+	if v.memoWithin(s, u, d-1) {
+		t.Fatalf("Within(%d,%d,%d) should fail below the distance", s, u, d-1)
+	}
+	base := ci.withins
+	if base != 2 {
+		t.Fatalf("priming took %d oracle calls, want 2", base)
+	}
+	// Everything below is answerable from the two certificates:
+	// bounds ≥ d are within, bounds ≤ d-1 are not.
+	for i := 0; i < 10; i++ {
+		if !v.memoWithin(s, u, d) || !v.memoWithin(s, u, d+1+i) {
+			t.Fatal("certified-within bound answered wrong")
+		}
+		if v.memoWithin(s, u, d-1) || (d-2-i >= 0 && v.memoWithin(s, u, d-2-i)) {
+			t.Fatal("certified-exceeded bound answered wrong")
+		}
+	}
+	if ci.withins != base {
+		t.Fatalf("memoized bounds still reached the oracle: %d extra calls", ci.withins-base)
+	}
+	if ci.dists != 0 {
+		t.Fatalf("memo escalated to exact Dist %d times; it must only ever call Within", ci.dists)
+	}
+}
+
+// TestMatchWithCountingOracle runs full Matches through the memo and
+// checks (a) answers are unchanged from a memo-free baseline — the
+// brute-force agreement test covers semantics, this one covers the
+// plumbing — and (b) the exact Dist method is never used.
+func TestMatchWithCountingOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomGraph(14, 30, 5)
+	ci := &countingIndex{inner: distindex.NewBFS(g)}
+	m := NewMatcher(g, ci, nil)
+	ref := NewMatcher(g, distindex.NewBFS(g), nil)
+	for trial := 0; trial < 60; trial++ {
+		q := randomQuery(g, rng)
+		if got, want := m.Match(q).Answer, ref.Match(q).Answer; !sameSet(got, want) {
+			t.Fatalf("trial %d: counting-oracle answer %v, want %v", trial, got, want)
+		}
+	}
+	if ci.dists != 0 {
+		t.Fatalf("Match called exact Dist %d times; the verify path must stay bounded", ci.dists)
+	}
+}
