@@ -9,7 +9,7 @@ GO ?= go
 # stripes, singleflight, and eviction paths all live in internal/match.
 RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par ./internal/distindex
 
-.PHONY: all build vet fmt-check test race lint callgraph check bench-parallel bench-batch bench-shard ci
+.PHONY: all build vet fmt-check test race lint callgraph check-cfg check bench-parallel bench-batch bench-shard ci
 
 all: build
 
@@ -39,6 +39,11 @@ lint:
 # SCCs) — the substrate behind lockcheck and detsource.
 callgraph:
 	$(GO) run ./cmd/wqe-lint -callgraph
+
+# The CFG/dataflow core under the flow-sensitive analyzers: golden
+# block-structure dumps and the double-build determinism contract.
+check-cfg:
+	$(GO) test ./internal/lint/cfg
 
 # Everything a PR must pass, without the benchmark regeneration.
 check: build vet fmt-check test race lint

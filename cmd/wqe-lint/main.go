@@ -1,15 +1,17 @@
 // Command wqe-lint runs the repo-specific static-analysis suite of
 // internal/lint over the module: mapiter (deterministic map iteration),
-// lockcheck (interprocedural mutex discipline with witness chains),
+// lockcheck (flow-sensitive mutex discipline with witness chains),
 // detsource (no nondeterminism sources reachable from canonical-output
 // packages), errdrop (no silently discarded errors in internal
 // packages), panicfree (no panics in library code), floateq (no float
-// ==/!= in ranking code), and gobound (no goroutine spawns outside the
-// internal/par worker pool).
+// ==/!= in ranking code), gobound (no goroutine spawns outside the
+// internal/par worker pool), ctxflow (contexts threaded into every
+// blocking operation), leakcheck (goroutines joined or cancellable),
+// and lintignore (suppression directives must state a reason).
 //
 // Usage:
 //
-//	wqe-lint [-root dir] [-rules list] [-callgraph] [patterns...]
+//	wqe-lint [-root dir] [-rules list] [-format text|github] [-callgraph] [patterns...]
 //
 // Patterns select which packages findings are reported for: "./..."
 // (everything, the default), or directory paths like ./internal/chase.
@@ -20,8 +22,11 @@
 // graph (nodes, edges with dispatch kinds, SCCs) in its deterministic
 // text form, for debugging interprocedural findings.
 //
-// Output is one `file:line: rule: message` per finding; the exit status
-// is 1 when anything is reported, 2 on load errors.
+// Output is one `file:line: rule: message` per finding; with
+// -format=github each finding is instead a GitHub Actions workflow
+// command (`::error file=…,line=…::…`), so CI failures annotate the
+// offending lines in the pull-request diff. The exit status is 1 when
+// anything is reported, 2 on load errors.
 package main
 
 import (
@@ -47,10 +52,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	root := fs.String("root", "", "module root (default: walk up from cwd to go.mod)")
 	rules := fs.String("rules", "", "comma-separated analyzer names to run (default: all)")
+	format := fs.String("format", "text", "findings output: text (file:line: rule: message) or github (workflow error annotations)")
 	dumpCG := fs.Bool("callgraph", false, "dump the module call graph instead of linting")
 	fs.Usage = func() {
 		//lint:ignore errdrop terminal output; a failed diagnostic write has no useful handler
-		fmt.Fprintf(stderr, "usage: wqe-lint [-root dir] [-rules list] [-callgraph] [patterns...]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: wqe-lint [-root dir] [-rules list] [-format text|github] [-callgraph] [patterns...]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			//lint:ignore errdrop terminal output; a failed diagnostic write has no useful handler
 			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
@@ -59,6 +65,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *format != "text" && *format != "github" {
+		return fail(stderr, fmt.Errorf("unknown -format %q (want text or github)", *format))
 	}
 
 	dir := *root
@@ -95,8 +104,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	findings = filterByPatterns(mod, findings, fs.Args())
 
 	for _, f := range findings {
+		line := rel(dir, f)
+		if *format == "github" {
+			line = githubAnnotation(dir, f)
+		}
 		//lint:ignore errdrop terminal output; a failed diagnostic write has no useful handler
-		fmt.Fprintln(stdout, rel(dir, f))
+		fmt.Fprintln(stdout, line)
 	}
 	if len(findings) > 0 {
 		//lint:ignore errdrop terminal output; a failed diagnostic write has no useful handler
@@ -191,4 +204,34 @@ func rel(root string, f lint.Finding) string {
 		f.Pos.Filename = r
 	}
 	return f.String()
+}
+
+// githubAnnotation renders a finding as a GitHub Actions workflow
+// command, so a failed lint job annotates the offending line in the
+// pull-request diff instead of burying it in the job log.
+func githubAnnotation(root string, f lint.Finding) string {
+	file := f.Pos.Filename
+	if r, err := filepath.Rel(root, file); err == nil {
+		file = r
+	}
+	return fmt.Sprintf("::error file=%s,line=%d::%s",
+		escapeProperty(filepath.ToSlash(file)), f.Pos.Line,
+		escapeData(f.Rule+": "+f.Msg))
+}
+
+// escapeData escapes the message part of a workflow command.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProperty escapes a workflow-command property value, which
+// additionally reserves the property and command separators.
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }

@@ -3,11 +3,18 @@ package main
 import (
 	"bytes"
 	"flag"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"wqe/internal/lint"
 )
+
+func lintFinding(file string, line int, rule, msg string) lint.Finding {
+	return lint.Finding{Pos: token.Position{Filename: file, Line: line}, Rule: rule, Msg: msg}
+}
 
 var update = flag.Bool("update", false, "rewrite golden files from current output")
 
@@ -54,6 +61,63 @@ func TestGoldenFixture(t *testing.T) {
 	out2, _, code2 := runOnce(t, "-root", fixtureRoot)
 	if code2 != 1 || out2 != out1 {
 		t.Errorf("second run differs (code %d): the findings stream must be byte-identical across runs", code2)
+	}
+}
+
+// TestGithubFormat pins the -format=github annotation stream: one
+// workflow command per finding, same count and order as the text
+// stream, byte-identical across runs.
+func TestGithubFormat(t *testing.T) {
+	text, _, _ := runOnce(t, "-root", fixtureRoot)
+	out1, _, code := runOnce(t, "-root", fixtureRoot, "-format", "github")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	textLines := strings.Split(strings.TrimSpace(text), "\n")
+	ghLines := strings.Split(strings.TrimSpace(out1), "\n")
+	if len(ghLines) != len(textLines) {
+		t.Fatalf("github stream has %d lines, text stream %d — formats must report identically",
+			len(ghLines), len(textLines))
+	}
+	for _, line := range ghLines {
+		if !strings.HasPrefix(line, "::error file=") || !strings.Contains(line, ",line=") {
+			t.Errorf("malformed annotation: %s", line)
+		}
+		if strings.Contains(line, "\n") || strings.Contains(line, "\r") {
+			t.Errorf("annotation must be a single line: %q", line)
+		}
+	}
+	// The fixture messages contain colons after escaping-relevant text;
+	// spot-check one known finding keeps its rule prefix in the message
+	// part (after the :: separator).
+	if !strings.Contains(out1, "::mapiter: ") {
+		t.Errorf("annotations should carry 'rule: message' after the data separator:\n%.300s", out1)
+	}
+	out2, _, _ := runOnce(t, "-root", fixtureRoot, "-format", "github")
+	if out2 != out1 {
+		t.Error("github annotation stream must be byte-identical across runs")
+	}
+}
+
+// TestGithubEscaping pins the workflow-command data escaping on a
+// synthetic finding.
+func TestGithubEscaping(t *testing.T) {
+	f := lintFinding("a,b.go", 3, "rule", "100% broken\nsecond line")
+	got := githubAnnotation("/", f)
+	want := "::error file=a%2Cb.go,line=3::rule: 100%25 broken%0Asecond line"
+	if got != want {
+		t.Errorf("githubAnnotation = %q, want %q", got, want)
+	}
+}
+
+// TestBadFormat pins exit 2 on an unknown -format value.
+func TestBadFormat(t *testing.T) {
+	_, errText, code := runOnce(t, "-root", fixtureRoot, "-format", "sarif")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, errText)
+	}
+	if !strings.Contains(errText, "sarif") {
+		t.Errorf("error should name the unknown format, got %q", errText)
 	}
 }
 

@@ -12,8 +12,12 @@
 //     module method with that name whose receiver type implements the
 //     interface (class-hierarchy analysis).
 //   - Dynamic: a call through a function value links to every
-//     address-taken module function with an identical signature —
-//     conservative, but bounded by the address-taken set.
+//     address-taken module function whose value escaped into a use of
+//     a compatible type — identical underlying signature, and not a
+//     distinct defined function type (a Handler-typed table entry is
+//     not a candidate for a call through a differently named type,
+//     because crossing defined types takes an explicit conversion,
+//     which the escape scan records as its own use).
 //
 // Function literals are not separate nodes: their bodies belong to the
 // enclosing declaration, so a closure's calls are attributed to the
@@ -100,6 +104,28 @@ type Node struct {
 	// call position (assigned, passed, or stored), making it a
 	// candidate target of Dynamic edges.
 	AddrTaken bool
+	// AddrTakenInto lists the types the escaping value flowed into —
+	// the declared type of the variable, parameter, field, or element
+	// receiving it (the function's own type when the context is not
+	// statically evident). Dynamic resolution matches callsites against
+	// this list, so a function stored only in Handler-typed tables is
+	// never a candidate for calls through unrelated defined types.
+	AddrTakenInto []types.Type
+}
+
+// addEscapeType records one escape-context type, deduplicated, in
+// first-appearance order (the scan order is deterministic, so the list
+// is too).
+func (n *Node) addEscapeType(t types.Type) {
+	if t == nil {
+		return
+	}
+	for _, have := range n.AddrTakenInto {
+		if types.Identical(have, t) {
+			return
+		}
+	}
+	n.AddrTakenInto = append(n.AddrTakenInto, t)
 }
 
 // Graph is the module call graph. Nodes is sorted by ID.
@@ -224,7 +250,8 @@ func disambiguate(nodes []*Node) {
 
 // markAddrTaken flags every module function whose identifier is used
 // outside the callee position of a call — assigned, passed as an
-// argument, stored in a struct, or taken as a method value.
+// argument, stored in a struct, or taken as a method value — and
+// records the type of the context receiving the value.
 func (b *builder) markAddrTaken(pkg *Package) {
 	for _, file := range pkg.Files {
 		// First pass: remember which identifiers are the callee of a
@@ -243,6 +270,7 @@ func (b *builder) markAddrTaken(pkg *Package) {
 			}
 			return true
 		})
+		parents := parentsOf(file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			id, ok := n.(*ast.Ident)
 			if !ok || calleeIdent[id] {
@@ -254,10 +282,171 @@ func (b *builder) markAddrTaken(pkg *Package) {
 			}
 			if node := b.g.NodeOf(fn); node != nil {
 				node.AddrTaken = true
+				node.addEscapeType(escapeContextType(pkg.Info, parents, id, fn))
 			}
 			return true
 		})
 	}
+}
+
+// parentsOf records each node's syntactic parent under root.
+func parentsOf(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// escapeContextType resolves the declared type of the position an
+// escaping function value flows into: the matching assignment target,
+// declared variable, call parameter, conversion result, or composite
+// element. When the context cannot be read off statically the
+// function's own type is recorded — the conservative answer that
+// matches any compatible callsite.
+func escapeContextType(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident, fn *types.Func) types.Type {
+	if t := escapeContextTypeOrNil(info, parents, id, fn); t != nil {
+		return t
+	}
+	return fn.Type()
+}
+
+func escapeContextTypeOrNil(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident, fn *types.Func) types.Type {
+	// Widen the escaping expression through its selector (method
+	// values) and parens so the parent inspected is the consumer.
+	var e ast.Expr = id
+	for {
+		switch p := parents[e].(type) {
+		case *ast.SelectorExpr:
+			if p.Sel != e {
+				return fn.Type()
+			}
+			e = p
+		case *ast.ParenExpr:
+			e = p
+		default:
+			goto widened
+		}
+	}
+widened:
+	switch p := parents[e].(type) {
+	case *ast.AssignStmt:
+		if len(p.Lhs) == len(p.Rhs) {
+			for i, r := range p.Rhs {
+				if r == e {
+					return lhsType(info, p.Lhs[i])
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		for i, v := range p.Values {
+			if v == e && i < len(p.Names) {
+				if obj := info.Defs[p.Names[i]]; obj != nil {
+					return obj.Type()
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if tv, ok := info.Types[p.Fun]; ok && tv.IsType() {
+			return tv.Type // conversion: Handler(fn)
+		}
+		sig, ok := info.TypeOf(p.Fun).(*types.Signature)
+		if !ok {
+			break
+		}
+		for i, a := range p.Args {
+			if a != e {
+				continue
+			}
+			if sig.Variadic() && i >= sig.Params().Len()-1 {
+				if sl, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+					return sl.Elem()
+				}
+				break
+			}
+			if i < sig.Params().Len() {
+				return sig.Params().At(i).Type()
+			}
+		}
+	case *ast.KeyValueExpr:
+		if p.Value == e {
+			if lit, ok := parents[p].(*ast.CompositeLit); ok {
+				return keyedElemType(info, lit, p)
+			}
+		}
+	case *ast.CompositeLit:
+		return positionalElemType(info, p, e)
+	}
+	return nil
+}
+
+// lhsType resolves the declared type of an assignment target; for a
+// `:=` definition the identifier is in Defs, not Types.
+func lhsType(info *types.Info, lhs ast.Expr) types.Type {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return info.TypeOf(lhs)
+}
+
+// keyedElemType resolves the expected type of a keyed composite
+// element: map values and named struct fields.
+func keyedElemType(info *types.Info, lit *ast.CompositeLit, kv *ast.KeyValueExpr) types.Type {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return u.Elem()
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Struct:
+		if key, ok := kv.Key.(*ast.Ident); ok {
+			if obj, ok := info.Uses[key].(*types.Var); ok {
+				return obj.Type()
+			}
+		}
+	}
+	return nil
+}
+
+// positionalElemType resolves the expected type of an unkeyed
+// composite element.
+func positionalElemType(info *types.Info, lit *ast.CompositeLit, e ast.Expr) types.Type {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Struct:
+		for i, el := range lit.Elts {
+			if el == e && i < u.NumFields() {
+				return u.Field(i).Type()
+			}
+		}
+	}
+	return nil
 }
 
 func (b *builder) collectEdges(pkg *Package) {
@@ -399,7 +588,9 @@ func implementsEither(recv types.Type, iface *types.Interface) bool {
 }
 
 // addDynamic links a call through a function value to every
-// address-taken module function with an identical signature.
+// address-taken module function whose value escaped into a use the
+// called value could be: identical underlying signature, and not held
+// apart by two distinct defined function types.
 func (b *builder) addDynamic(caller *Node, t types.Type, call *ast.CallExpr) {
 	if t == nil {
 		return
@@ -416,10 +607,45 @@ func (b *builder) addDynamic(caller *Node, t types.Type, call *ast.CallExpr) {
 		if !types.Identical(want, stripRecv(cand.Fn.Type().(*types.Signature))) {
 			continue
 		}
+		if !escapesIntoCompatible(t, cand) {
+			continue
+		}
 		caller.Out = append(caller.Out, &Edge{
 			Caller: caller, Callee: cand, Pos: call.Pos(), Kind: Dynamic, Site: call,
 		})
 	}
+}
+
+// escapesIntoCompatible reports whether some recorded escape context of
+// the candidate could hold the value called through type t. Underlying
+// signatures are already known identical; the remaining question is
+// nominal: a value inside a defined function type A only becomes a
+// value of a different defined type B through an explicit conversion,
+// which the escape scan records as an escape into B — so two distinct
+// defined types exclude each other, and everything else (either side
+// structural) is assignable and matches.
+func escapesIntoCompatible(t types.Type, cand *Node) bool {
+	for _, u := range cand.AddrTakenInto {
+		us, ok := u.Underlying().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if !types.Identical(stripRecv(t.Underlying().(*types.Signature)), stripRecv(us)) {
+			continue
+		}
+		if isDefinedType(t) && isDefinedType(u) && !types.Identical(t, u) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// isDefinedType reports whether t is a defined (named) type rather
+// than a structural function type.
+func isDefinedType(t types.Type) bool {
+	_, ok := t.(*types.Named)
+	return ok
 }
 
 // stripRecv normalizes a signature to its receiver-less form so method

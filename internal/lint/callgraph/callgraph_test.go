@@ -191,6 +191,76 @@ func TestDynamicEdges(t *testing.T) {
 	}
 }
 
+const namedDynSrc = `package ndyn
+
+type Handler func() int
+type Probe func() int
+
+func HandlerImpl() int { return 1 }
+func TableImpl() int { return 2 }
+func ProbeImpl() int { return 3 }
+func SliceImpl() int { return 4 }
+func FreeImpl() int { return 5 }
+func ConvImpl() int { return 6 }
+
+var h Handler = HandlerImpl
+var p Probe = ProbeImpl
+var f = FreeImpl
+var viaConv = Probe(ConvImpl)
+
+var handlers = map[string]Handler{"t": TableImpl}
+var probes = []Probe{SliceImpl}
+
+func RunHandler() int { return h() }
+func RunProbe() int { return p() }
+func RunFree() int { return f() }
+`
+
+// TestDynamicNamedTypePrecision pins the address-taken-into-matching-
+// use refinement: a call through a defined function type only links
+// functions that escaped into that type (or into a structural context,
+// which is assignable either way) — never functions held by a
+// different defined type.
+func TestDynamicNamedTypePrecision(t *testing.T) {
+	g := build(t, [][2]string{{"ndyn", namedDynSrc}})
+	runHandler := g.node(t, "ndyn.RunHandler")
+	runProbe := g.node(t, "ndyn.RunProbe")
+	runFree := g.node(t, "ndyn.RunFree")
+
+	// Handler-typed callsite: Handler escapees (var decl and map
+	// value) and the structural escapee match; Probe escapees do not.
+	for _, want := range []string{"ndyn.HandlerImpl", "ndyn.TableImpl", "ndyn.FreeImpl"} {
+		if !hasEdge(runHandler, want, Dynamic) {
+			t.Errorf("RunHandler should link %s; edges: %v", want, dumpEdges(runHandler))
+		}
+	}
+	for _, not := range []string{"ndyn.ProbeImpl", "ndyn.SliceImpl", "ndyn.ConvImpl"} {
+		if hasEdge(runHandler, not, Dynamic) {
+			t.Errorf("RunHandler must not link %s (escaped into Probe, a distinct defined type); edges: %v",
+				not, dumpEdges(runHandler))
+		}
+	}
+
+	// Probe-typed callsite: the conversion Probe(ConvImpl) records an
+	// escape into Probe, so the converted function is a candidate here.
+	for _, want := range []string{"ndyn.ProbeImpl", "ndyn.SliceImpl", "ndyn.ConvImpl", "ndyn.FreeImpl"} {
+		if !hasEdge(runProbe, want, Dynamic) {
+			t.Errorf("RunProbe should link %s; edges: %v", want, dumpEdges(runProbe))
+		}
+	}
+	if hasEdge(runProbe, "ndyn.HandlerImpl", Dynamic) {
+		t.Errorf("RunProbe must not link HandlerImpl; edges: %v", dumpEdges(runProbe))
+	}
+
+	// Structural callsite: assignable from every defined type, so all
+	// escapees with the signature remain candidates.
+	for _, want := range []string{"ndyn.HandlerImpl", "ndyn.ProbeImpl", "ndyn.FreeImpl"} {
+		if !hasEdge(runFree, want, Dynamic) {
+			t.Errorf("RunFree should link %s; edges: %v", want, dumpEdges(runFree))
+		}
+	}
+}
+
 const crossSrc1 = `package low
 
 func Leaf() int { return 1 }

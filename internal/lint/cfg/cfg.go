@@ -1,0 +1,613 @@
+// Package cfg builds intra-function control-flow graphs over go/ast
+// function bodies, using only the standard library. It is the substrate
+// the flow-sensitive lint analyzers (lockcheck v3, ctxflow, leakcheck)
+// share: where the v2 analyzers reasoned lexically ("a Lock appears
+// earlier in the body"), the CFG lets them reason per path ("the lock
+// is held on every path reaching this access").
+//
+// The builder covers the constructs a real body can branch on:
+// if/else chains, for and range loops, switch and type-switch with
+// fallthrough, select, short-circuit && and || in branch conditions,
+// break/continue (plain and labeled), goto and labels, return, and
+// calls to the panic builtin. Statements are never split below
+// statement granularity except for branch conditions, whose
+// short-circuit operands each get their own block so a dataflow fact
+// can distinguish "b evaluated" from "b skipped".
+//
+// Deferred calls are modeled as a defer stack replayed on every exit
+// edge: each return (and the fall-off-the-end exit) gets its own
+// defer.fire block holding the deferred calls in LIFO order, marked
+// Defer so analyses can tell a replay from the registration point. The
+// stack is the syntactic over-approximation — a defer registered under
+// a condition is replayed on every later exit — which is exact for the
+// dominant `mu.Lock(); defer mu.Unlock()` idiom and conservative
+// elsewhere.
+//
+// Function literals are opaque: a FuncLit is part of the node that
+// mentions it, never inlined, because its body runs at another time
+// (or never). Analyses that care build a separate Graph per literal.
+//
+// Everything is deterministic: blocks are numbered in construction
+// order, renumbered densely after unreachable-block pruning, and Dump
+// renders the whole graph in a stable text form — two builds over the
+// same syntax are byte-identical, which the golden tests pin.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Node is one evaluation point inside a block: a leaf statement or a
+// branch-condition operand. Defer marks a deferred call replayed on an
+// exit edge (Ast is then the deferred *ast.CallExpr, positioned at the
+// original defer statement).
+type Node struct {
+	Ast   ast.Node
+	Defer bool
+}
+
+// Block is a maximal straight-line run of nodes. Control enters only
+// at the first node and leaves only after the last, along Succs.
+type Block struct {
+	// Index is the block's position in Graph.Blocks after pruning;
+	// entry is always 0 and exit always last.
+	Index int
+	// Kind names what the block models ("entry", "exit", "if.then",
+	// "for.head", "defer.fire", ...) — documentation for dumps and
+	// tests, never consulted by analyses.
+	Kind  string
+	Nodes []Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry and Exit bracket every path: Entry has no Preds, Exit no
+	// Succs. A body that cannot fall through (infinite loop, all paths
+	// return) still keeps its Exit block as the defer-replay anchor.
+	Entry, Exit *Block
+	// Blocks lists every reachable block in deterministic order:
+	// Entry first, then construction order, Exit last.
+	Blocks []*Block
+}
+
+// New builds the CFG of one function body (a FuncDecl's or FuncLit's).
+// A nil body yields a two-block graph (declaration without body).
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		entry: &Block{Kind: "entry"},
+		exit:  &Block{Kind: "exit"},
+	}
+	b.blocks = []*Block{b.entry}
+	b.cur = b.entry
+	b.labels = map[string]*labelInfo{}
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	// Falling off the end is an exit path of its own.
+	b.fireDefersTo(b.exit)
+	return b.finish()
+}
+
+// builder carries the construction state of one Graph.
+type builder struct {
+	entry, exit *Block
+	blocks      []*Block
+	// cur is the block under construction; nil after a terminator
+	// (return/break/goto/panic) until the next statement opens a new —
+	// then unreachable — block.
+	cur *Block
+	// defers lists the defer statements seen so far in syntactic
+	// order; every exit edge replays them in reverse.
+	defers []*ast.DeferStmt
+	// breaks stacks every breakable construct (for/range/switch/
+	// select) in nesting order — an unlabeled break binds to the top;
+	// loops stacks only continue targets. label is non-empty under a
+	// LabeledStmt.
+	loops  []loopCtx
+	breaks []breakCtx
+	// fallthroughTo is the next case-body block while building a
+	// switch clause.
+	fallthroughTo *Block
+	labels        map[string]*labelInfo
+}
+
+type loopCtx struct {
+	label      string
+	continueTo *Block
+}
+
+type breakCtx struct {
+	label   string
+	breakTo *Block
+}
+
+type labelInfo struct {
+	block   *Block
+	pending []*Block // gotos seen before the label
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Kind: kind}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// use makes blk the current block, opening it as an (unreachable, and
+// later pruned) continuation when the previous statement terminated.
+func (b *builder) use(blk *Block) { b.cur = blk }
+
+// edge links from → to, skipping duplicates so a condition with equal
+// true/false targets keeps a single successor.
+func edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// emit appends a node to the current block, opening a fresh block when
+// the previous statement terminated the path (dead code still gets a
+// structure; pruning drops it when nothing jumps back in).
+func (b *builder) emit(n ast.Node) {
+	if b.cur == nil {
+		b.use(b.newBlock("dead"))
+	}
+	b.cur.Nodes = append(b.cur.Nodes, Node{Ast: n})
+}
+
+// fireDefersTo replays the defer stack seen so far (LIFO) on an edge
+// from the current block to target, interposing a defer.fire block
+// when the stack is non-empty; it does not change b.cur.
+func (b *builder) fireDefersTo(target *Block) {
+	if b.cur == nil {
+		return
+	}
+	if len(b.defers) == 0 {
+		edge(b.cur, target)
+		return
+	}
+	fire := b.newBlock("defer.fire")
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		fire.Nodes = append(fire.Nodes, Node{Ast: b.defers[i].Call, Defer: true})
+	}
+	edge(b.cur, fire)
+	edge(fire, target)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.fireDefersTo(b.exit)
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.emit(s)
+		b.defers = append(b.defers, s)
+
+	case *ast.ExprStmt:
+		b.emit(s)
+		if isPanicCall(s.X) {
+			b.fireDefersTo(b.exit)
+			b.cur = nil
+		}
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.EmptyStmt:
+		// no node
+
+	default:
+		// Assign, IncDec, Send, Go, Decl, ...: one leaf node.
+		b.emit(s)
+	}
+}
+
+// isPanicCall reports a direct call of an identifier named panic —
+// syntactic on purpose, since the builder has no type information; a
+// shadowed panic only costs an over-eager exit edge.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// cond builds the short-circuit decomposition of a branch condition:
+// every && / || operand gets its own block with edges to the then/else
+// targets, so "right operand evaluated" is a path fact.
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(x.X, mid, f)
+			b.use(mid)
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(x.X, t, mid)
+			b.use(mid)
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	b.emit(e)
+	edge(b.cur, t)
+	edge(b.cur, f)
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	then := b.newBlock("if.then")
+	join := b.newBlock("if.join")
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.cond(s.Cond, then, els)
+		b.use(then)
+		b.stmt(s.Body)
+		edge(b.cur, join)
+		b.use(els)
+		b.stmt(s.Else)
+		edge(b.cur, join)
+	} else {
+		b.cond(s.Cond, then, join)
+		b.use(then)
+		b.stmt(s.Body)
+		edge(b.cur, join)
+	}
+	b.use(join)
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	after := b.newBlock("for.after")
+	edge(b.cur, head)
+
+	continueTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, Node{Ast: s.Post})
+		edge(post, head)
+		continueTo = post
+	}
+
+	b.use(head)
+	if s.Cond != nil {
+		b.cond(s.Cond, body, after)
+	} else {
+		edge(head, body)
+	}
+
+	b.loops = append(b.loops, loopCtx{label: label, continueTo: continueTo})
+	b.breaks = append(b.breaks, breakCtx{label: label, breakTo: after})
+	b.use(body)
+	b.stmt(s.Body)
+	edge(b.cur, continueTo)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.breaks = b.breaks[:len(b.breaks)-1]
+
+	b.use(after)
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.after")
+	edge(b.cur, head)
+	head.Nodes = append(head.Nodes, Node{Ast: s})
+	edge(head, body)
+	edge(head, after)
+
+	b.loops = append(b.loops, loopCtx{label: label, continueTo: head})
+	b.breaks = append(b.breaks, breakCtx{label: label, breakTo: after})
+	b.use(body)
+	b.stmt(s.Body)
+	edge(b.cur, head)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.breaks = b.breaks[:len(b.breaks)-1]
+
+	b.use(after)
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	if s.Tag != nil {
+		b.emit(s.Tag)
+	}
+	b.caseClauses(s.Body, label, func(cc *ast.CaseClause, blk *Block) {
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, Node{Ast: e})
+		}
+	})
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.emit(s.Init)
+	}
+	b.emit(s.Assign)
+	b.caseClauses(s.Body, label, func(cc *ast.CaseClause, blk *Block) {
+		// Type cases bind no evaluated expressions; the head's Assign
+		// node already covers the scrutinee.
+	})
+}
+
+// caseClauses builds the shared switch shape: a head fan-out to one
+// block per clause, fallthrough edges between consecutive bodies, and
+// a join that doubles as the break target. Without a default clause
+// the head also flows straight to the join.
+func (b *builder) caseClauses(body *ast.BlockStmt, label string, fill func(*ast.CaseClause, *Block)) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("dead")
+		b.use(head)
+	}
+	join := b.newBlock("switch.join")
+
+	var clauses []*ast.CaseClause
+	for _, st := range body.List {
+		if cc, ok := st.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blks[i] = b.newBlock(kind)
+		fill(cc, blks[i])
+		edge(head, blks[i])
+	}
+	if !hasDefault {
+		edge(head, join)
+	}
+
+	b.breaks = append(b.breaks, breakCtx{label: label, breakTo: join})
+	for i, cc := range clauses {
+		b.use(blks[i])
+		saved := b.fallthroughTo
+		if i+1 < len(blks) {
+			b.fallthroughTo = blks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmtList(cc.Body)
+		b.fallthroughTo = saved
+		edge(b.cur, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.use(join)
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("dead")
+		b.use(head)
+	}
+	join := b.newBlock("select.join")
+
+	var clauses []*ast.CommClause
+	for _, st := range s.Body.List {
+		if cc, ok := st.(*ast.CommClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	if len(clauses) == 0 {
+		// select{} blocks forever: no successor, the path ends here.
+		b.cur = nil
+		return
+	}
+
+	b.breaks = append(b.breaks, breakCtx{label: label, breakTo: join})
+	for _, cc := range clauses {
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, Node{Ast: cc.Comm})
+		}
+		edge(head, blk)
+		b.use(blk)
+		b.stmtList(cc.Body)
+		edge(b.cur, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.use(join)
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	lb := b.newBlock("label." + name)
+	li.block = lb
+	for _, from := range li.pending {
+		edge(from, lb)
+	}
+	li.pending = nil
+	edge(b.cur, lb)
+	b.use(lb)
+
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, name)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.breakTarget(label); t != nil {
+			edge(b.cur, t)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if t := b.continueTarget(label); t != nil {
+			edge(b.cur, t)
+		}
+		b.cur = nil
+	case token.GOTO:
+		li := b.labels[label]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[label] = li
+		}
+		if li.block != nil {
+			edge(b.cur, li.block)
+		} else if b.cur != nil {
+			li.pending = append(li.pending, b.cur)
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		if b.fallthroughTo != nil {
+			edge(b.cur, b.fallthroughTo)
+		}
+		b.cur = nil
+	}
+}
+
+// breakTarget resolves break against the unified stack of breakable
+// constructs: unlabeled break takes the innermost, labeled break the
+// construct carrying that label.
+func (b *builder) breakTarget(label string) *Block {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if label == "" || b.breaks[i].label == label {
+			return b.breaks[i].breakTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) continueTarget(label string) *Block {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if label == "" || b.loops[i].label == label {
+			return b.loops[i].continueTo
+		}
+	}
+	return nil
+}
+
+// finish prunes unreachable blocks, derives Preds, and assigns the
+// final deterministic numbering (entry first, exit last).
+func (b *builder) finish() *Graph {
+	reachable := map[*Block]bool{b.entry: true}
+	queue := []*Block{b.entry}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		for _, s := range blk.Succs {
+			if !reachable[s] {
+				reachable[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+
+	var kept []*Block
+	for _, blk := range b.blocks {
+		if blk != b.exit && reachable[blk] {
+			kept = append(kept, blk)
+		}
+	}
+	kept = append(kept, b.exit) // exit survives even if no path reaches it
+
+	for i, blk := range kept {
+		blk.Index = i
+		blk.Preds = nil
+	}
+	for _, blk := range kept {
+		var succs []*Block
+		for _, s := range blk.Succs {
+			if reachable[s] || s == b.exit {
+				succs = append(succs, s)
+			}
+		}
+		blk.Succs = succs
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return &Graph{Entry: b.entry, Exit: b.exit, Blocks: kept}
+}

@@ -1,0 +1,237 @@
+package cfg
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden dump")
+
+const fixturePath = "testdata/funcs.go.src"
+const goldenPath = "testdata/dump.golden"
+
+func parseFixture(t *testing.T) (*token.FileSet, []*ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, fixturePath, nil, 0)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	var fds []*ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fds = append(fds, fd)
+		}
+	}
+	if len(fds) == 0 {
+		t.Fatal("fixture has no functions")
+	}
+	return fset, fds
+}
+
+func dumpAll(fset *token.FileSet, fds []*ast.FuncDecl) string {
+	var sb strings.Builder
+	for _, fd := range fds {
+		fmt.Fprintf(&sb, "== %s\n", fd.Name.Name)
+		sb.WriteString(New(fd.Body).Dump(fset))
+	}
+	return sb.String()
+}
+
+// TestGoldenDump pins the block/edge structure of every control-flow
+// construct the builder handles. Regenerate with -update after
+// deliberate builder changes.
+func TestGoldenDump(t *testing.T) {
+	fset, fds := parseFixture(t)
+	got := dumpAll(fset, fds)
+
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("dump differs from %s:\n--- got ---\n%s--- want ---\n%s", filepath.Base(goldenPath), got, want)
+	}
+}
+
+// TestDeterminism builds every fixture CFG twice and requires
+// byte-identical dumps — the contract the flow-sensitive analyzers
+// (and the module's byte-identical lint output) rest on.
+func TestDeterminism(t *testing.T) {
+	fset, fds := parseFixture(t)
+	first := dumpAll(fset, fds)
+	second := dumpAll(fset, fds)
+	if first != second {
+		t.Fatal("double build is not byte-identical")
+	}
+}
+
+// TestGraphInvariants checks structural well-formedness on every
+// fixture graph: dense entry-first/exit-last numbering, symmetric
+// succ/pred lists, no duplicate edges, all blocks reachable from
+// entry (except possibly exit), and terminators only at block ends.
+func TestGraphInvariants(t *testing.T) {
+	fset, fds := parseFixture(t)
+	for _, fd := range fds {
+		g := New(fd.Body)
+		if g.Blocks[0] != g.Entry {
+			t.Errorf("%s: entry is not block 0", fd.Name.Name)
+		}
+		if g.Blocks[len(g.Blocks)-1] != g.Exit {
+			t.Errorf("%s: exit is not the last block", fd.Name.Name)
+		}
+		if len(g.Exit.Succs) != 0 {
+			t.Errorf("%s: exit has successors", fd.Name.Name)
+		}
+		for i, blk := range g.Blocks {
+			if blk.Index != i {
+				t.Errorf("%s: block %d has Index %d", fd.Name.Name, i, blk.Index)
+			}
+			seen := map[*Block]bool{}
+			for _, s := range blk.Succs {
+				if seen[s] {
+					t.Errorf("%s: b%d has duplicate edge to b%d", fd.Name.Name, blk.Index, s.Index)
+				}
+				seen[s] = true
+				found := false
+				for _, p := range s.Preds {
+					if p == blk {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s: edge b%d->b%d missing from preds", fd.Name.Name, blk.Index, s.Index)
+				}
+			}
+		}
+		// Reachability from entry covers every block except (maybe)
+		// the exit of a function that never falls through.
+		reach := map[*Block]bool{g.Entry: true}
+		queue := []*Block{g.Entry}
+		for len(queue) > 0 {
+			blk := queue[0]
+			queue = queue[1:]
+			for _, s := range blk.Succs {
+				if !reach[s] {
+					reach[s] = true
+					queue = append(queue, s)
+				}
+			}
+		}
+		for _, blk := range g.Blocks {
+			if !reach[blk] && blk != g.Exit {
+				t.Errorf("%s: b%d (%s) unreachable after pruning", fd.Name.Name, blk.Index, blk.Kind)
+			}
+		}
+	}
+	_ = fset
+}
+
+// TestNilBody covers declarations without bodies (assembly stubs).
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if len(g.Blocks) != 2 {
+		t.Fatalf("nil body: got %d blocks, want 2", len(g.Blocks))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatal("nil body: entry must flow straight to exit")
+	}
+}
+
+// TestForwardReachingLocks runs a tiny must-analysis (lock held on
+// every path) over the deferred() fixture and checks the solver's
+// answers at entry and exit — an end-to-end smoke test of Forward
+// with a non-trivial lattice.
+func TestForwardReachingLocks(t *testing.T) {
+	fset, fds := parseFixture(t)
+	var fd *ast.FuncDecl
+	for _, d := range fds {
+		if d.Name.Name == "deferred" {
+			fd = d
+		}
+	}
+	if fd == nil {
+		t.Fatal("fixture deferred() missing")
+	}
+	g := New(fd.Body)
+
+	type set = map[string]bool
+	univ := set{"mu": true}
+	flow := Flow[set]{
+		Entry: set{},
+		Top:   univ,
+		Merge: func(a, b set) set {
+			out := set{}
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Transfer: func(_ *Block, n Node, in set) set {
+			call, ok := n.Ast.(*ast.ExprStmt)
+			var c ast.Expr
+			if ok {
+				c = call.X
+			} else if ce, ok2 := n.Ast.(*ast.CallExpr); ok2 {
+				c = ce
+			}
+			if c != nil {
+				if ce, ok := c.(*ast.CallExpr); ok {
+					if sel, ok := ce.Fun.(*ast.SelectorExpr); ok {
+						switch sel.Sel.Name {
+						case "Lock":
+							in["mu"] = true
+						case "Unlock":
+							delete(in, "mu")
+						}
+					}
+				}
+			}
+			return in
+		},
+		Equal: func(a, b set) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(a set) set {
+			out := set{}
+			for k := range a {
+				out[k] = true
+			}
+			return out
+		},
+	}
+	res := Forward(g, flow)
+
+	if res.In[g.Entry.Index]["mu"] {
+		t.Error("lock held at entry")
+	}
+	// Every path releases through the deferred Unlock replayed on the
+	// exit edges, so nothing is held at exit.
+	if len(res.In[g.Exit.Index]) != 0 {
+		t.Errorf("lock still held at exit: %v", res.In[g.Exit.Index])
+	}
+	_ = fset
+}

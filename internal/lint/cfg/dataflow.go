@@ -1,0 +1,82 @@
+package cfg
+
+// Flow is a forward dataflow problem over a Graph. The fact type F is
+// whatever the client needs (lock sets, pending-goroutine sets, ...);
+// the framework only requires the four operations below plus an
+// equality test for the fixpoint check.
+//
+// The usual lattice split maps onto Merge's handling of Top:
+//
+//   - must-analyses ("the lock is held on EVERY path") merge by
+//     intersection and seed unvisited predecessors with Top = the
+//     universe, so a back edge from a not-yet-visited block does not
+//     drain facts that every real path establishes;
+//   - may-analyses ("held on SOME path") merge by union and use an
+//     empty Top.
+type Flow[F any] struct {
+	// Entry is the fact at the function entry; Top seeds blocks not
+	// yet reached during iteration (see above).
+	Entry, Top F
+	// Merge combines two incoming edge facts. It must be commutative
+	// and associative.
+	Merge func(a, b F) F
+	// Transfer applies one node's effect. It may mutate and return
+	// `in` — the framework clones before calling.
+	Transfer func(blk *Block, n Node, in F) F
+	// Equal reports whether two facts are equal (fixpoint check).
+	Equal func(a, b F) bool
+	// Clone deep-copies a fact so Transfer can mutate freely.
+	Clone func(F) F
+}
+
+// Result holds the fixpoint solution: the fact at each block's entry
+// and exit, indexed by Block.Index.
+type Result[F any] struct {
+	In, Out []F
+}
+
+// Forward iterates the problem to a fixpoint, visiting blocks in index
+// order (deterministic; index order approximates reverse post-order
+// closely enough that typical graphs converge in two or three sweeps).
+// Clients needing per-node facts replay Transfer from In[blk.Index]
+// over the block's nodes — the same computation the solver ran.
+func Forward[F any](g *Graph, f Flow[F]) *Result[F] {
+	n := len(g.Blocks)
+	res := &Result[F]{In: make([]F, n), Out: make([]F, n)}
+	visited := make([]bool, n)
+
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.Blocks {
+			var in F
+			if blk == g.Entry {
+				in = f.Clone(f.Entry)
+			} else {
+				in = f.Clone(f.Top)
+				seen := false
+				for _, p := range blk.Preds {
+					if !visited[p.Index] {
+						continue
+					}
+					if !seen {
+						in = f.Clone(res.Out[p.Index])
+						seen = true
+					} else {
+						in = f.Merge(in, res.Out[p.Index])
+					}
+				}
+			}
+			out := f.Clone(in)
+			for _, node := range blk.Nodes {
+				out = f.Transfer(blk, node, out)
+			}
+			if !visited[blk.Index] || !f.Equal(res.In[blk.Index], in) || !f.Equal(res.Out[blk.Index], out) {
+				changed = true
+			}
+			visited[blk.Index] = true
+			res.In[blk.Index] = in
+			res.Out[blk.Index] = out
+		}
+	}
+	return res
+}

@@ -1,0 +1,68 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// maxNodeRunes caps a dumped node's source rendering so one giant
+// composite literal cannot swamp a golden file.
+const maxNodeRunes = 60
+
+// Dump renders the graph in a stable text form for golden tests: one
+// stanza per block with its index, kind, nodes (line number plus a
+// whitespace-collapsed source excerpt, deferred replays prefixed
+// "defer.fire"), and successor list. Building the same syntax twice
+// dumps byte-identically.
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s\n", blk.Index, blk.Kind)
+		for _, n := range blk.Nodes {
+			tag := ""
+			if n.Defer {
+				tag = "defer.fire "
+			}
+			fmt.Fprintf(&sb, "\t%sL%d %s\n", tag, fset.Position(n.Ast.Pos()).Line, render(fset, n.Ast))
+		}
+		if len(blk.Succs) > 0 {
+			var succs []string
+			for _, s := range blk.Succs {
+				succs = append(succs, fmt.Sprintf("b%d", s.Index))
+			}
+			fmt.Fprintf(&sb, "\t-> %s\n", strings.Join(succs, " "))
+		}
+	}
+	return sb.String()
+}
+
+// render prints one AST node as collapsed single-line source text.
+// Range statements are summarized from their parts — printing the
+// whole *ast.RangeStmt would inline the loop body.
+func render(fset *token.FileSet, n ast.Node) string {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		s := "range " + render(fset, r.X)
+		if r.Key != nil {
+			kv := render(fset, r.Key)
+			if r.Value != nil {
+				kv += ", " + render(fset, r.Value)
+			}
+			s = kv + " " + r.Tok.String() + " " + s
+		}
+		return s
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	out := strings.Join(strings.Fields(buf.String()), " ")
+	runes := []rune(out)
+	if len(runes) > maxNodeRunes {
+		out = string(runes[:maxNodeRunes]) + "…"
+	}
+	return out
+}

@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wqe/internal/lint/cfg"
+)
+
+// CtxFlow returns the ctxflow analyzer: a function that receives a
+// context.Context must thread it into every blocking or spawning
+// operation on every reachable path. This is the serving-layer
+// discipline Session.AskAll and the future wqe-serve handlers depend
+// on — a handler that blocks where its context cannot reach it keeps a
+// goroutine (and the request's resources) alive after the caller gave
+// up.
+//
+// Within a context-carrying function the analyzer walks the reachable
+// CFG nodes and reports:
+//
+//   - a channel send, receive, or range-over-channel with no
+//     cancellation path — i.e. not a comm case of a select that also
+//     watches <-ctx.Done() (or has a default arm, which makes the
+//     operation non-blocking). Receiving from ctx.Done() itself is the
+//     cancellation and is always fine;
+//   - time.Sleep, which no context can interrupt (use a timer or
+//     context.WithTimeout and select);
+//   - context.Background()/context.TODO() manufactured while a context
+//     is already in hand — the fresh root silently detaches the whole
+//     downstream call tree from cancellation;
+//   - a `go` spawn whose function never receives the context (no
+//     derived-context mention in the closure body or call arguments):
+//     the goroutine is unreachable by cancellation.
+//
+// Contexts derived via context.With* or aliased locally count as
+// threaded. Function literal bodies are not walked for blocking ops
+// (a closure blocks on its own caller's schedule); spawned literals
+// are judged as spawns.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "context-carrying functions must thread ctx into every blocking or spawning operation",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(mod *Module, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, ctxFlowFunc(pkg, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+func ctxFlowFunc(pkg *Package, fd *ast.FuncDecl) []Finding {
+	derived := ctxParamObjs(pkg.Info, fd)
+	if len(derived) == 0 {
+		return nil
+	}
+	growDerivedCtx(pkg.Info, fd.Body, derived)
+	parents := parentMap(fd.Body)
+
+	var out []Finding
+	seen := map[token.Pos]bool{}
+	report := func(pos token.Pos, msg string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		out = append(out, Finding{Pos: pkg.Fset.Position(pos), Rule: "ctxflow", Msg: msg})
+	}
+
+	g := cfg.New(fd.Body)
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if n.Defer {
+				continue
+			}
+			ctxScanNode(pkg.Info, parents, derived, n.Ast, report)
+		}
+	}
+	return out
+}
+
+// ctxScanNode inspects one CFG node for unthreaded blocking/spawning
+// operations. FuncLit interiors are opaque (spawned ones are judged at
+// their GoStmt); RangeStmt bodies are their own nodes.
+func ctxScanNode(info *types.Info, parents map[ast.Node]ast.Node, derived map[types.Object]bool, node ast.Node, report func(token.Pos, string)) {
+	ast.Inspect(node, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+
+		case *ast.GoStmt:
+			if !mentionsDerivedCtx(info, derived, x.Call) {
+				report(x.Pos(), "goroutine spawned without the context in scope: cancellation "+
+					"cannot reach it (pass ctx into the closure or its arguments, "+
+					"or //lint:ignore ctxflow <reason>)")
+			}
+			return false
+
+		case *ast.RangeStmt:
+			if isChanExpr(info, x.X) {
+				report(x.Pos(), "range over a channel has no cancellation path "+
+					"(receive in a select with <-ctx.Done() instead, "+
+					"or //lint:ignore ctxflow <reason>)")
+			}
+			return false
+
+		case *ast.SendStmt:
+			if !selectCancellable(info, parents, derived, x) {
+				report(x.Pos(), "blocking send the context cannot interrupt "+
+					"(wrap in select { case ch <- v: case <-ctx.Done(): }, "+
+					"or //lint:ignore ctxflow <reason>)")
+			}
+
+		case *ast.UnaryExpr:
+			if x.Op != token.ARROW {
+				return true
+			}
+			if isDoneCall(info, derived, x.X) {
+				return true
+			}
+			if !selectCancellable(info, parents, derived, x) {
+				report(x.Pos(), "blocking receive the context cannot interrupt "+
+					"(select over it together with <-ctx.Done(), "+
+					"or //lint:ignore ctxflow <reason>)")
+			}
+
+		case *ast.CallExpr:
+			if fn := calledFunc(info, x); fn != nil && fn.Pkg() != nil {
+				switch {
+				case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+					report(x.Pos(), "time.Sleep ignores the context "+
+						"(use context.WithTimeout or a timer in a select with <-ctx.Done(), "+
+						"or //lint:ignore ctxflow <reason>)")
+				case fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO"):
+					report(x.Pos(), fmt.Sprintf("context.%s() manufactured while a context is already "+
+						"in scope: the fresh root detaches this call tree from cancellation "+
+						"(thread the incoming ctx, or //lint:ignore ctxflow <reason>)", fn.Name()))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selectCancellable reports whether op is a comm case of a select that
+// can always proceed or be cancelled: a default arm (the op becomes a
+// try-op) or a <-ctx.Done() comm on a derived context.
+func selectCancellable(info *types.Info, parents map[ast.Node]ast.Node, derived map[types.Object]bool, op ast.Node) bool {
+	for n := parents[op]; n != nil; n = parents[n] {
+		cc, ok := n.(*ast.CommClause)
+		if !ok {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			continue
+		}
+		if cc.Comm == nil || op.Pos() < cc.Comm.Pos() || op.End() > cc.Comm.End() {
+			// Inside a clause body, not the comm op itself: the select
+			// already committed, no protection.
+			return false
+		}
+		sel, ok := parents[parents[cc]].(*ast.SelectStmt)
+		if !ok {
+			return false
+		}
+		for _, st := range sel.Body.List {
+			other, ok := st.(*ast.CommClause)
+			if !ok || other == cc {
+				continue
+			}
+			if other.Comm == nil {
+				return true // default arm: non-blocking
+			}
+			if commWatchesDone(info, derived, other.Comm) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// commWatchesDone reports whether a select comm statement receives
+// from a derived context's Done channel.
+func commWatchesDone(info *types.Info, derived map[types.Object]bool, comm ast.Stmt) bool {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	return isDoneCall(info, derived, u.X)
+}
+
+// isDoneCall matches `<derived ctx>.Done()`.
+func isDoneCall(info *types.Info, derived map[types.Object]bool, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && derived[info.Uses[id]]
+}
+
+// mentionsDerivedCtx reports whether any identifier under n resolves
+// to a derived context object.
+func mentionsDerivedCtx(info *types.Info, derived map[types.Object]bool, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && derived[info.Uses[id]] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// ctxParamObjs collects the function's context.Context parameters
+// (including the receiver, for completeness).
+func ctxParamObjs(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, fld := range fd.Type.Params.List {
+		for _, name := range fld.Names {
+			if obj := info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// growDerivedCtx extends the derived set with locals assigned from a
+// derived context or a context.With* call, iterating to a fixpoint so
+// chains of derivations (sub := context.WithValue(ctx, …); s2 := sub)
+// all count as threaded.
+func growDerivedCtx(info *types.Info, body *ast.BlockStmt, derived map[types.Object]bool) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(x ast.Node) bool {
+			as, ok := x.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			if !derivesCtx(info, derived, as.Rhs[0]) {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && isContextType(obj.Type()) && !derived[obj] {
+					derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// derivesCtx reports whether e evaluates to (a tuple containing) a
+// context derived from one already in the set: a derived identifier or
+// a context.With* call whose first argument mentions one.
+func derivesCtx(info *types.Info, derived map[types.Object]bool, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return derived[info.Uses[x]]
+	case *ast.CallExpr:
+		fn := calledFunc(info, x)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return false
+		}
+		return len(x.Args) > 0 && mentionsDerivedCtx(info, derived, x.Args[0])
+	}
+	return false
+}
+
+// calledFunc resolves a call's target to its *types.Func, or nil for
+// dynamic and builtin calls.
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isChanExpr reports whether e has a channel type.
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// parentMap records each node's syntactic parent under root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -16,8 +16,12 @@ import (
 // into one) are documented never to fail and are exempt. In command
 // mains, terminal output — fmt.Print/Printf/Println and fmt.Fprint* to
 // os.Stdout or os.Stderr — is also exempt: a CLI cannot usefully report
-// that its own reporting failed. A drop that is genuinely intended gets
-// a `//lint:ignore errdrop <reason>`.
+// that its own reporting failed. Deferred calls are exempt only when
+// they are Close/Unlock-shaped cleanups — the one idiomatic
+// best-effort drop; `defer flush()` hides a real failure and is
+// flagged, and a deferred function literal is walked like ordinary
+// code. A drop that is genuinely intended gets a
+// `//lint:ignore errdrop <reason>`.
 func ErrDrop() *Analyzer {
 	return &Analyzer{
 		Name: "errdrop",
@@ -46,8 +50,7 @@ func runErrDrop(mod *Module, pkg *Package) []Finding {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.DeferStmt:
-				// A deferred best-effort cleanup (Close, Unlock) is the
-				// one idiomatic place to drop an error.
+				out = append(out, deferredDrops(pkg, n)...)
 				return false
 			case *ast.ExprStmt:
 				call, ok := n.X.(*ast.CallExpr)
@@ -69,6 +72,73 @@ func runErrDrop(mod *Module, pkg *Package) []Finding {
 		})
 	}
 	return out
+}
+
+// deferredDrops checks one defer statement. A deferred best-effort
+// cleanup — a call named Close, Unlock, or RUnlock — is the one
+// idiomatic place to drop an error; any other deferred call is held to
+// the same standard as straight-line code. A deferred function literal
+// is walked like ordinary code (with the same cleanup exemption for
+// the calls inside it), so wrapping a drop in `defer func() { … }()`
+// hides nothing.
+func deferredDrops(pkg *Package, ds *ast.DeferStmt) []Finding {
+	lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		call := ds.Call
+		if isCleanupCall(call) || neverFails(pkg.Info, call) {
+			return nil
+		}
+		if desc, ok := droppedError(pkg.Info, call); ok {
+			return []Finding{{
+				Pos:  pkg.Fset.Position(call.Pos()),
+				Rule: "errdrop",
+				Msg: fmt.Sprintf("deferred call to %s discards its error; only Close/Unlock-shaped "+
+					"cleanups may defer a drop (handle it in a deferred closure, "+
+					"or //lint:ignore errdrop <reason>)", desc),
+			}}
+		}
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			out = append(out, deferredDrops(pkg, n)...)
+			return false
+		case *ast.ExprStmt:
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok || isCleanupCall(call) || neverFails(pkg.Info, call) {
+				return true
+			}
+			if desc, ok := droppedError(pkg.Info, call); ok {
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(call.Pos()),
+					Rule: "errdrop",
+					Msg: fmt.Sprintf("result of %s includes an error that is silently discarded; "+
+						"handle it or //lint:ignore errdrop <reason>", desc),
+				})
+			}
+		case *ast.AssignStmt:
+			out = append(out, blankedErrors(pkg, n)...)
+		}
+		return true
+	})
+	return out
+}
+
+// isCleanupCall reports whether the call target is named like a
+// best-effort cleanup: Close, Unlock, or RUnlock.
+func isCleanupCall(call *ast.CallExpr) bool {
+	var name string
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return false
+	}
+	return name == "Close" || name == "Unlock" || name == "RUnlock"
 }
 
 // droppedError reports whether the call returns an error (alone or as

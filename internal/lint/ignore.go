@@ -19,7 +19,8 @@ type ignoreSet struct {
 //
 //	//lint:ignore <rule>[,<rule>...] <reason>
 //
-// The reason is mandatory in spirit but not enforced mechanically.
+// The reason is mandatory: a directive without one suppresses nothing
+// and is itself reported by the lintignore analyzer.
 const ignorePrefix = "lint:ignore"
 
 func ignoresOf(pkg *Package) *ignoreSet {
@@ -27,14 +28,13 @@ func ignoresOf(pkg *Package) *ignoreSet {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				fields, ok := directiveFields(c.Text)
 				if !ok {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
+				if len(fields) < 2 {
+					// No rule, or no justification after the rule list:
+					// an unexplained waiver earns no suppression.
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
@@ -48,6 +48,23 @@ func ignoresOf(pkg *Package) *ignoreSet {
 		}
 	}
 	return ig
+}
+
+// directiveFields parses a comment's text as a lint:ignore directive,
+// returning its whitespace-separated fields (rule list first, then the
+// justification words). The second result is false when the comment is
+// not a directive at all. A nested `//` comment embedded in the text is
+// stripped first — another comment marker is not a justification.
+func directiveFields(commentText string) ([]string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(commentText, "//"))
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return nil, false
+	}
+	if i := strings.Index(rest, " //"); i >= 0 {
+		rest = rest[:i]
+	}
+	return strings.Fields(rest), true
 }
 
 func (ig *ignoreSet) add(file string, line int, rules []string) {

@@ -1,0 +1,433 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wqe/internal/lint/cfg"
+)
+
+// LeakCheck returns the leakcheck analyzer: a go-spawned goroutine
+// must be joined or cancellable. The module's concurrency doctrine
+// (internal/par) already guarantees this for the sanctioned pool; the
+// analyzer proves it stays true — in par itself and in any future
+// exempted spawn site — instead of trusting the doctrine.
+//
+// For every `go func(){…}()` whose closure signals completion — a
+// Done() on a function-local sync.WaitGroup, or a close/send on a
+// function-local unbuffered channel — a may-analysis over the CFG
+// tracks the pending signal from the spawn to every exit: if some path
+// returns without consuming it (<-ch, range ch, wg.Wait(), or the
+// signal variable escaping to another function that may join it), the
+// spawn is flagged — on that path the goroutine outlives the call, and
+// an unbuffered signal send blocks it forever. A spawned closure with
+// no completion signal at all and no context in scope is flagged
+// outright: nothing can ever join or cancel it.
+//
+// Spawns of named functions (`go worker(ch)`) and spawns whose signal
+// lives outside the analyzed body are skipped — the closure over the
+// signal variable is the analyzable shape, and it is the only shape
+// the module uses.
+func LeakCheck() *Analyzer {
+	return &Analyzer{
+		Name: "leakcheck",
+		Doc:  "spawned goroutines must be joined (done-signal consumed on every path) or cancellable",
+		Run:  runLeakCheck,
+	}
+}
+
+func runLeakCheck(mod *Module, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, leakCheckBody(pkg, fd.Body)...)
+			}
+		}
+	}
+	return out
+}
+
+// leakSpawn is one analyzable spawn: the GoStmt and the body-local
+// signal objects its closure completes through.
+type leakSpawn struct {
+	stmt    *ast.GoStmt
+	signals []types.Object
+}
+
+func leakCheckBody(pkg *Package, body *ast.BlockStmt) []Finding {
+	info := pkg.Info
+	g := cfg.New(body)
+
+	// Classify the reachable top-level spawns. Spawns inside function
+	// literals are analyzed against the literal's own body (recursion
+	// below); a spawn joining across that boundary is skipped, not
+	// guessed at.
+	spawns := map[*ast.GoStmt]*leakSpawn{}
+	var findings []Finding
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			gs, ok := n.Ast.(*ast.GoStmt)
+			if !ok || n.Defer {
+				continue
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				continue // named-function spawn: nothing to see inside
+			}
+			locals, any := signalObjs(info, body, lit)
+			switch {
+			case len(locals) > 0:
+				spawns[gs] = &leakSpawn{stmt: gs, signals: locals}
+			case !any && !mentionsContext(info, lit):
+				findings = append(findings, Finding{
+					Pos:  pkg.Fset.Position(gs.Pos()),
+					Rule: "leakcheck",
+					Msg: "spawned goroutine is neither joined (no completion signal) nor " +
+						"cancellable (no context in the closure) — nothing can ever stop or " +
+						"wait for it (add a done channel/WaitGroup or pass a context, " +
+						"or //lint:ignore leakcheck <reason>)",
+				})
+			}
+		}
+	}
+	if len(spawns) > 0 {
+		findings = append(findings, leakFlow(pkg, g, spawns)...)
+	}
+
+	// Recurse into this body's direct literals.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			findings = append(findings, leakCheckBody(pkg, lit.Body)...)
+			return false
+		}
+		return true
+	})
+	return findings
+}
+
+// leakFlow runs the may-pending analysis: a spawn's signal keys are
+// generated at the GoStmt and killed by a consuming use; keys alive at
+// exit on some path are leaks, reported at their spawn.
+func leakFlow(pkg *Package, g *cfg.Graph, spawns map[*ast.GoStmt]*leakSpawn) []Finding {
+	info := pkg.Info
+
+	// Key the flow by signal object; remember each key's first spawn
+	// for deterministic attribution.
+	spawnPos := map[types.Object]token.Pos{}
+	for _, sp := range spawns {
+		for _, obj := range sp.signals {
+			if p, ok := spawnPos[obj]; !ok || sp.stmt.Pos() < p {
+				spawnPos[obj] = sp.stmt.Pos()
+			}
+		}
+	}
+
+	type objSet = map[types.Object]bool
+	flow := cfg.Flow[objSet]{
+		Entry: objSet{},
+		Top:   objSet{},
+		Merge: func(a, b objSet) objSet {
+			for k := range b {
+				a[k] = true
+			}
+			return a
+		},
+		Transfer: func(_ *cfg.Block, n cfg.Node, in objSet) objSet {
+			if gs, ok := n.Ast.(*ast.GoStmt); ok && !n.Defer {
+				if sp := spawns[gs]; sp != nil {
+					for _, obj := range sp.signals {
+						in[obj] = true
+					}
+				}
+				return in
+			}
+			for obj := range in {
+				if consumesSignal(info, n.Ast, obj) {
+					delete(in, obj)
+				}
+			}
+			return in
+		},
+		Equal: func(a, b objSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(s objSet) objSet {
+			out := make(objSet, len(s))
+			for k := range s {
+				out[k] = true
+			}
+			return out
+		},
+	}
+	res := cfg.Forward(g, flow)
+
+	pending := res.In[g.Exit.Index]
+	var objs []types.Object
+	for obj := range pending {
+		objs = append(objs, obj)
+	}
+	// Deterministic order: by spawn position.
+	for i := 1; i < len(objs); i++ {
+		for j := i; j > 0 && spawnPos[objs[j]] < spawnPos[objs[j-1]]; j-- {
+			objs[j], objs[j-1] = objs[j-1], objs[j]
+		}
+	}
+	var out []Finding
+	for _, obj := range objs {
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(spawnPos[obj]),
+			Rule: "leakcheck",
+			Msg: fmt.Sprintf("goroutine spawned here signals completion on %s, but some path "+
+				"returns without consuming the signal — the goroutine (and an unbuffered send) "+
+				"outlives the call on that path (wait on every path, or //lint:ignore leakcheck <reason>)",
+				obj.Name()),
+		})
+	}
+	return out
+}
+
+// consumesSignal reports whether the node joins or takes over the
+// signal: a receive or range from the channel, a Wait on the
+// WaitGroup, or the variable escaping (call argument, return value,
+// assignment source — some other function may join it). Spawn
+// subtrees are excluded: the spawned goroutine producing the signal is
+// not the consumer.
+func consumesSignal(info *types.Info, node ast.Node, obj types.Object) bool {
+	consumed := false
+	ast.Inspect(node, func(x ast.Node) bool {
+		if consumed {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && isObjIdent(info, x.X, obj) {
+				consumed = true
+			}
+		case *ast.RangeStmt:
+			if isObjIdent(info, x.X, obj) {
+				consumed = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Wait" && isObjIdent(info, sel.X, obj) {
+				consumed = true
+				return false
+			}
+			for _, arg := range x.Args {
+				if mentionsObj(info, arg, obj) {
+					consumed = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if mentionsObj(info, r, obj) {
+					consumed = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				if mentionsObj(info, r, obj) {
+					consumed = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return consumed
+}
+
+func isObjIdent(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+func mentionsObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// signalObjs scans a spawned closure for completion signals: locals
+// holds the signal variables declared in the enclosing body (the
+// analyzable case); any reports whether any signal mechanism exists at
+// all, local or not (a non-local one means some other scope owns the
+// join, so the spawn is not flagged as unjoinable).
+func signalObjs(info *types.Info, encl *ast.BlockStmt, lit *ast.FuncLit) (locals []types.Object, any bool) {
+	seen := map[types.Object]bool{}
+	add := func(obj types.Object) {
+		any = true
+		if obj == nil || seen[obj] {
+			return
+		}
+		if obj.Pos() < encl.Pos() || obj.Pos() >= encl.End() {
+			return // declared outside this body: its owner joins it
+		}
+		seen[obj] = true
+		locals = append(locals, obj)
+	}
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(x.Fun).(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" && isWaitGroup(info, fun.X) {
+					if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+						add(info.Uses[id])
+					} else {
+						any = true
+					}
+				}
+			case *ast.Ident:
+				if fun.Name == "close" && len(x.Args) == 1 {
+					if obj := chanObjOf(info, x.Args[0]); obj != nil {
+						if unbufferedChanMake(info, encl, obj) {
+							add(obj)
+						} else {
+							any = true
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if obj := chanObjOf(info, x.Chan); obj != nil {
+				if unbufferedChanMake(info, encl, obj) {
+					add(obj)
+				} else {
+					any = true
+				}
+			}
+		}
+		return true
+	})
+	return locals, any
+}
+
+// chanObjOf resolves a channel-typed identifier to its object.
+func chanObjOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	return obj
+}
+
+// isWaitGroup reports whether e is a sync.WaitGroup (possibly through
+// a pointer).
+func isWaitGroup(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// unbufferedChanMake reports whether obj is initialized in body by a
+// make with no capacity (or explicit 0) — the blocking signal shape.
+// A channel made elsewhere (or with a buffer) is someone else's
+// protocol.
+func unbufferedChanMake(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := x.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			def := info.Defs[id]
+			if def == nil {
+				def = info.Uses[id]
+			}
+			if def != obj {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "make" {
+				continue
+			}
+			if len(call.Args) == 1 {
+				found = true
+			} else if len(call.Args) == 2 {
+				if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsContext reports whether the closure can see a context: any
+// identifier of type context.Context in its body (captured or its own
+// parameter).
+func mentionsContext(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

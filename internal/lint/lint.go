@@ -1,22 +1,26 @@
 // Package lint implements wqe's repo-specific static-analysis suite
 // using only the standard library's go/parser, go/ast, and go/types.
 //
-// Seven analyzers enforce the invariants the paper's algorithms depend
+// Ten analyzers enforce the invariants the paper's algorithms depend
 // on for reproducible output. The interprocedural ones (lockcheck,
 // detsource) share a module-wide static call graph built by
-// internal/lint/callgraph:
+// internal/lint/callgraph, and the flow-sensitive ones (lockcheck,
+// ctxflow, leakcheck) share the control-flow graphs and dataflow
+// solver of internal/lint/cfg:
 //
 //   - mapiter: no raw `for range` over maps in canonical-output
 //     packages (query, ops, chase, exemplar) — Go randomizes map
 //     iteration order, which silently breaks tie-broken top-k ranking;
 //     collect keys and sort them first.
 //   - lockcheck: struct fields annotated `// guarded by <mu>` must be
-//     reached only on call paths that hold the mutex. Per-function
-//     lock summaries propagate along the call graph, so helpers that
-//     rely on the caller's lock are verified rather than name-trusted;
-//     findings carry the witness call chain, double acquisition is
-//     reported as a potential deadlock, and *Locked functions never
-//     called under a lock are flagged as dead annotations.
+//     reached only on call paths that hold the mutex. Intra-function
+//     facts come from a flow-sensitive lock-set analysis (must-held
+//     discharges accesses, may-held detects deadlocks, deferred
+//     unlocks fire on exit edges); per-function summaries propagate
+//     along the call graph, so helpers that rely on the caller's lock
+//     are verified rather than name-trusted. Findings carry the
+//     witness call chain; locks leaked on some exit path and releases
+//     with no pairing acquisition are reported on every function.
 //   - detsource: nondeterminism sources (raw map range, time.Now,
 //     global math/rand, multi-way select) must not be reachable from
 //     canonical-output packages, along any call chain.
@@ -30,9 +34,19 @@
 //   - gobound: no raw `go` statements outside internal/par — all
 //     fan-out goes through the bounded, joined, panic-propagating
 //     worker pool, keeping output independent of completion order.
+//   - ctxflow: a function that receives a context.Context must thread
+//     it into every blocking or spawning operation on every path —
+//     bare sends/receives, time.Sleep, fresh context roots, and
+//     context-blind spawns are flagged.
+//   - leakcheck: a spawned goroutine must be joined or cancellable;
+//     a completion signal (WaitGroup.Done, close/send on a local
+//     unbuffered channel) dropped on some path to return is a leak.
+//   - lintignore: a `//lint:ignore` directive must carry a
+//     justification; a bare directive is itself a finding and
+//     suppresses nothing.
 //
 // Any finding can be suppressed with a trailing or preceding
-// `//lint:ignore <rule> <reason>` comment.
+// `//lint:ignore <rule> <reason>` comment — the reason is mandatory.
 package lint
 
 import (
@@ -75,6 +89,9 @@ func Analyzers() []*Analyzer {
 		PanicFree(),
 		FloatEq(),
 		GoBound(),
+		CtxFlow(),
+		LeakCheck(),
+		LintIgnore(),
 	}
 }
 

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"fmt"
+)
+
+// LintIgnore returns the lintignore analyzer: every `//lint:ignore`
+// directive must carry a justification after the rule list. A bare
+// directive reads as "trust me" — six months later nobody, including
+// the author, knows whether the waived finding was a false positive or
+// a deferred bug. Such a directive suppresses nothing (see ignoresOf)
+// and is itself a finding, so the build surfaces both the unexplained
+// waiver and whatever it tried to hide.
+func LintIgnore() *Analyzer {
+	return &Analyzer{
+		Name: "lintignore",
+		Doc:  "lint:ignore directives must state a reason; a bare directive suppresses nothing",
+		Run:  runLintIgnore,
+	}
+}
+
+func runLintIgnore(mod *Module, pkg *Package) []Finding {
+	var out []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				fields, ok := directiveFields(c.Text)
+				if !ok || len(fields) >= 2 {
+					continue // not a directive, or well-formed
+				}
+				what := "names no rule"
+				if len(fields) == 1 {
+					what = fmt.Sprintf("waives %q without a justification", fields[0])
+				}
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(c.Pos()),
+					Rule: "lintignore",
+					Msg: fmt.Sprintf("lint:ignore directive %s; it suppresses nothing — "+
+						"write //lint:ignore <rule> <reason>", what),
+				})
+			}
+		}
+	}
+	return out
+}

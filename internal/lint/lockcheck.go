@@ -19,14 +19,13 @@ import (
 //	entries map[string]*entry // guarded by mu
 var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
 
-// LockCheck returns the interprocedural lockcheck analyzer (v2).
+// LockCheck returns the interprocedural lockcheck analyzer (v3).
 //
 // Fields annotated `// guarded by <mu>` must be reached only on call
-// paths that hold the mutex. Unlike v1 — which trusted any function
-// named *Locked and only saw same-function Lock() calls — v2 computes
-// a per-function summary ("this method needs <recv>.mu held at entry",
-// "this method acquires <recv>.mu") and propagates it along the module
-// call graph, callees first over the SCC condensation:
+// paths that hold the mutex. v2 computed per-function summaries
+// ("this method needs <recv>.mu held at entry", "this method acquires
+// <recv>.mu") and propagated them along the module call graph,
+// callees first over the SCC condensation:
 //
 //   - A helper that touches a guarded field through its receiver
 //     without locking is accepted when every caller holds the mutex at
@@ -40,9 +39,18 @@ var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
 //   - A *Locked-suffixed function that is never called with any lock
 //     held is reported as a dead or misleading annotation.
 //
-// The intra-function lock test remains lexical (a Lock/RLock on the
-// same base earlier in the body); the analyzer catches protocol
-// violations across functions, `go test -race` still proves the
+// v3 replaces v2's lexical intra-function test (a Lock/RLock earlier
+// in the body, Unlock ignored) with the flow-sensitive lock-set
+// analysis in lockflow.go: a guarded access or callee requirement is
+// discharged only when the lock is held on *every* CFG path reaching
+// it, and a re-acquisition is a deadlock when the lock is held on
+// *some* path. That kills the v2 false-positive class — a guarded
+// call after an early Unlock-and-return no longer counts as "lock
+// held" — and catches accesses after a release, which the lexical
+// scan waved through. Two pairing checks ride on the same flows and
+// run on every function, annotations or not: a lock still held on
+// some exit path (leak) and a release no path can pair with an
+// acquisition (double release). `go test -race` still proves the
 // protocol dynamically.
 func LockCheck() *Analyzer {
 	facts := make(map[*Module][]Finding)
@@ -132,6 +140,7 @@ type lockSummary struct {
 	node     *callgraph.Node
 	recvName string
 	locked   bool // name carries the *Locked caller-holds convention
+	flow     *lockFlow
 	requires map[string]*lockReq
 	acquires map[string]*lockAcq
 	calls    []lockCall
@@ -144,22 +153,29 @@ type lockSummary struct {
 
 func runLockCheckModule(mod *Module) []Finding {
 	guarded := collectGuarded(mod)
-	if len(guarded) == 0 {
-		return nil
-	}
 	cg := CallGraphOf(mod)
 	sums := make(map[*callgraph.Node]*lockSummary, len(cg.Nodes))
 
 	var findings []Finding
 
-	// Local pass: per-function accesses, acquisitions, callsites.
+	// Local pass: the flow-sensitive lock-set solution, its pairing
+	// findings (leak on some exit path, unpairable release — these run
+	// on every function, guarded fields or not), then the per-function
+	// accesses, acquisitions, and callsites.
 	for _, n := range cg.Nodes {
 		s := newLockSummary(mod.Fset, n)
 		sums[n] = s
 		if n.Decl.Body == nil {
 			continue
 		}
-		findings = append(findings, s.localPass(mod.Fset, n.Pkg.Info, guarded)...)
+		s.flow = newLockFlow(mod.Fset, n.Pkg.Info, n.Decl)
+		findings = append(findings, s.flow.flowFindings(mod.Fset)...)
+		if len(guarded) > 0 {
+			findings = append(findings, s.localPass(mod.Fset, n.Pkg.Info, guarded)...)
+		}
+	}
+	if len(guarded) == 0 {
+		return findings
 	}
 
 	// Propagation: callees first over the SCC condensation; cyclic
@@ -168,7 +184,7 @@ func runLockCheckModule(mod *Module) []Finding {
 		for changed := true; changed; {
 			changed = false
 			for _, n := range comp {
-				if sums[n].propagate(mod.Fset, sums) {
+				if sums[n].propagate(sums) {
 					changed = true
 				}
 			}
@@ -218,10 +234,11 @@ func callBase(fset *token.FileSet, call *ast.CallExpr) string {
 }
 
 // localPass classifies every guarded-field access of the function:
-// lexically protected (fine), receiver-based (becomes a requirement the
-// callers must discharge), or foreign-base unprotected (an immediate
-// finding, since no call-graph fact can establish a foreign lock).
-// It also records which receiver mutexes the function acquires.
+// flow-protected (the mutex is must-held at the access), receiver-based
+// (becomes a requirement the callers must discharge), or foreign-base
+// unprotected (an immediate finding, since no call-graph fact can
+// establish a foreign lock). It also records which receiver mutexes
+// the function acquires.
 func (s *lockSummary) localPass(fset *token.FileSet, info *types.Info, guarded map[types.Object]string) []Finding {
 	fd := s.node.Decl
 	var out []Finding
@@ -244,7 +261,7 @@ func (s *lockSummary) localPass(fset *token.FileSet, info *types.Info, guarded m
 			}
 			base := exprString(fset, n.X)
 			desc := base + "." + n.Sel.Name
-			if lockHeldBefore(fset, fd, base, mu, n.Pos()) {
+			if s.flow.heldAt(base, mu, n.Pos()) {
 				return true
 			}
 			if s.recvName != "" && base == s.recvName {
@@ -279,13 +296,14 @@ func (s *lockSummary) localPass(fset *token.FileSet, info *types.Info, guarded m
 
 // propagate folds callee summaries into this function: requirements a
 // callee imposes on a shared receiver bubble up when this function does
-// not discharge them, and so do transitive acquisitions (for deadlock
-// detection). Reports whether the summary changed.
-func (s *lockSummary) propagate(fset *token.FileSet, sums map[*callgraph.Node]*lockSummary) bool {
+// not discharge them (flow-sensitively: a callsite where the lock is
+// must-held discharges the callee's need), and so do transitive
+// acquisitions (for deadlock detection). Reports whether the summary
+// changed.
+func (s *lockSummary) propagate(sums map[*callgraph.Node]*lockSummary) bool {
 	if s.node.Decl.Body == nil {
 		return false
 	}
-	fd := s.node.Decl
 	changed := false
 	for _, c := range s.calls {
 		cs := sums[c.callee]
@@ -296,7 +314,7 @@ func (s *lockSummary) propagate(fset *token.FileSet, sums map[*callgraph.Node]*l
 			cs.called = true
 			changed = true
 		}
-		if !cs.heldCalled && (anyLockHeldBefore(fd, c.pos) ||
+		if !cs.heldCalled && (s.flow.anyHeldAt(c.pos) ||
 			(s.recvName != "" && c.base == s.recvName)) {
 			cs.heldCalled = true
 			changed = true
@@ -305,7 +323,7 @@ func (s *lockSummary) propagate(fset *token.FileSet, sums map[*callgraph.Node]*l
 			continue
 		}
 		for _, mu := range sortedKeys(cs.requires) {
-			if s.requires[mu] != nil || lockHeldBefore(fset, fd, c.base, mu, c.pos) {
+			if s.requires[mu] != nil || s.flow.heldAt(c.base, mu, c.pos) {
 				continue
 			}
 			req := cs.requires[mu]
@@ -342,7 +360,7 @@ func (s *lockSummary) emit(fset *token.FileSet, sums map[*callgraph.Node]*lockSu
 		}
 		propagates := s.recvName != "" && c.base == s.recvName
 		for _, mu := range sortedKeys(cs.requires) {
-			held := lockHeldBefore(fset, fd, c.base, mu, c.pos)
+			held := s.flow.heldAt(c.base, mu, c.pos)
 			if held || propagates {
 				continue
 			}
@@ -356,8 +374,11 @@ func (s *lockSummary) emit(fset *token.FileSet, sums map[*callgraph.Node]*lockSu
 					c.base, mu),
 			})
 		}
+		// One path re-acquiring is enough to hang, so the deadlock
+		// test is may-held — while requirement discharge above is
+		// must-held (the access needs the lock on every path).
 		for _, mu := range sortedKeys(cs.acquires) {
-			if !lockHeldBefore(fset, fd, c.base, mu, c.pos) {
+			if !s.flow.mayHeldAt(c.base, mu, c.pos) {
 				continue
 			}
 			acq := cs.acquires[mu]
@@ -432,57 +453,6 @@ func lockAcquisition(fset *token.FileSet, call *ast.CallExpr) (base, mu string, 
 		return "", "", false
 	}
 	return exprString(fset, muSel.X), muSel.Sel.Name, true
-}
-
-// lockHeldBefore reports whether `<base>.<mu>.Lock()` or RLock appears
-// in fd's body lexically before pos. It deliberately ignores Unlock:
-// early-return branches make a lexical release scan unsound, so the
-// check stays the v1 approximation (the race detector owns the dynamic
-// protocol).
-func lockHeldBefore(fset *token.FileSet, fd *ast.FuncDecl, base, mu string, pos token.Pos) bool {
-	held := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if held {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() >= pos {
-			return true
-		}
-		b, m, ok := lockAcquisition(fset, call)
-		if ok && b == base && m == mu {
-			held = true
-			return false
-		}
-		return true
-	})
-	return held
-}
-
-// anyLockHeldBefore reports whether any mutex Lock/RLock call appears
-// lexically before pos — the loose test behind the dead-Locked-
-// annotation check.
-func anyLockHeldBefore(fd *ast.FuncDecl, pos token.Pos) bool {
-	if fd.Body == nil {
-		return false
-	}
-	held := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if held {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() >= pos {
-			return true
-		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
-			(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
-			held = true
-			return false
-		}
-		return true
-	})
-	return held
 }
 
 // exprString renders an expression as written, for base-path matching.

@@ -1,0 +1,415 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"wqe/internal/lint/cfg"
+)
+
+// This file is lockcheck v3's intra-function core: a flow-sensitive
+// lock-set analysis over the internal/lint/cfg graphs, replacing v2's
+// lexical "a Lock appears earlier in the body" scan. Two dataflow
+// problems run per body:
+//
+//   - must-held (intersection meet): a lock in the set is held on
+//     EVERY path reaching the point — this is what discharges guarded
+//     accesses and callee requirements;
+//   - may-held (union meet): held on SOME path — this is what makes a
+//     re-acquisition a potential deadlock and a lock surviving to an
+//     exit a leak.
+//
+// `defer mu.Unlock()` is modeled by the CFG itself: every exit edge
+// replays the deferred calls, so the kill lands exactly where the
+// runtime performs it. Function literals are analyzed as separate
+// bodies (a closure runs at another time); a query for a position
+// inside a literal consults the literal's own flow first and falls
+// back to the enclosing state where the literal was created.
+
+// lockSet is a set of held lock keys: the rendered lock expression
+// ("c.mu", "mu"), with read locks suffixed rlockSuffix.
+type lockSet map[string]bool
+
+const rlockSuffix = "#r"
+
+// displayKey splits a lock key into its source expression and
+// read-lock flag.
+func displayKey(key string) (expr string, read bool) {
+	if strings.HasSuffix(key, rlockSuffix) {
+		return strings.TrimSuffix(key, rlockSuffix), true
+	}
+	return key, false
+}
+
+// lockOp is one acquire or release of a lock key at a position.
+type lockOp struct {
+	key     string
+	acquire bool
+	read    bool
+	pos     token.Pos
+}
+
+// lockOpOf decodes a call as a sync lock operation: a selector call
+// named Lock/RLock/Unlock/RUnlock whose method (when type information
+// resolves it) lives in package sync — so a domain type that happens
+// to export a Lock method is not mistaken for a mutex.
+func lockOpOf(fset *token.FileSet, info *types.Info, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var acquire, read bool
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
+	default:
+		return lockOp{}, false
+	}
+	if info != nil {
+		if obj, found := info.Uses[sel.Sel]; found {
+			fn, isFn := obj.(*types.Func)
+			if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				return lockOp{}, false
+			}
+		}
+	}
+	key := exprString(fset, sel.X)
+	if key == "" {
+		return lockOp{}, false
+	}
+	if read {
+		key += rlockSuffix
+	}
+	return lockOp{key: key, acquire: acquire, read: read, pos: call.Pos()}, true
+}
+
+// lockOpsIn collects the lock operations of one CFG node in source
+// order. Defer registrations contribute nothing (their call's effect
+// lands on the defer.fire replays), and FuncLit interiors are opaque
+// (a closure body gets its own bodyFlow).
+func lockOpsIn(fset *token.FileSet, info *types.Info, n cfg.Node) []lockOp {
+	if _, isReg := n.Ast.(*ast.DeferStmt); isReg && !n.Defer {
+		return nil
+	}
+	var ops []lockOp
+	ast.Inspect(n.Ast, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := lockOpOf(fset, info, call); ok {
+			ops = append(ops, op)
+		}
+		return true
+	})
+	return ops
+}
+
+// nodeFacts records the lock state immediately before one (non-defer)
+// CFG node, keyed by the node's source span for position queries.
+type nodeFacts struct {
+	pos, end  token.Pos
+	must, may lockSet
+}
+
+// bodyFlow is the solved lock state of one body: the facts before
+// every node, the may-held set at exit (after defer replays), the
+// first-acquisition position per key, the releases that no path can
+// pair with an acquisition, and the flows of the body's direct
+// function literals.
+type bodyFlow struct {
+	graph   *cfg.Graph
+	nodes   []nodeFacts
+	exitMay lockSet
+	gen     map[string]token.Pos
+	orphans []lockOp
+	lits    []*litFlow
+}
+
+type litFlow struct {
+	lit  *ast.FuncLit
+	flow *bodyFlow
+}
+
+func cloneLockSet(s lockSet) lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func lockSetsEqual(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func newBodyFlow(fset *token.FileSet, info *types.Info, body *ast.BlockStmt) *bodyFlow {
+	bf := &bodyFlow{graph: cfg.New(body), gen: map[string]token.Pos{}}
+	g := bf.graph
+
+	// Universe of keys (the must-analysis Top) and first-gen positions.
+	universe := lockSet{}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			for _, op := range lockOpsIn(fset, info, n) {
+				universe[op.key] = true
+				if op.acquire && !n.Defer {
+					if p, ok := bf.gen[op.key]; !ok || op.pos < p {
+						bf.gen[op.key] = op.pos
+					}
+				}
+			}
+		}
+	}
+
+	apply := func(set lockSet, op lockOp) {
+		if op.acquire {
+			set[op.key] = true
+		} else {
+			delete(set, op.key)
+		}
+	}
+	flow := func(top lockSet, merge func(a, b lockSet) lockSet) *cfg.Result[lockSet] {
+		return cfg.Forward(g, cfg.Flow[lockSet]{
+			Entry: lockSet{},
+			Top:   top,
+			Merge: merge,
+			Transfer: func(_ *cfg.Block, n cfg.Node, in lockSet) lockSet {
+				for _, op := range lockOpsIn(fset, info, n) {
+					apply(in, op)
+				}
+				return in
+			},
+			Equal: lockSetsEqual,
+			Clone: cloneLockSet,
+		})
+	}
+	must := flow(universe, func(a, b lockSet) lockSet {
+		out := lockSet{}
+		for k := range a {
+			if b[k] {
+				out[k] = true
+			}
+		}
+		return out
+	})
+	may := flow(lockSet{}, func(a, b lockSet) lockSet {
+		for k := range b {
+			a[k] = true
+		}
+		return a
+	})
+	bf.exitMay = may.In[g.Exit.Index]
+
+	// Replay every block for per-node facts and release pairing. A
+	// release with its key absent from the may-held state — and a
+	// matching acquisition somewhere in the body, so helpers releasing
+	// a caller-held lock stay exempt — cannot pair with any Lock on
+	// any path: a double release or a missing Lock. Defer replays can
+	// duplicate one op across exit edges; report each position once.
+	seenOrphan := map[string]bool{}
+	for _, blk := range g.Blocks {
+		mf := cloneLockSet(must.In[blk.Index])
+		yf := cloneLockSet(may.In[blk.Index])
+		for _, n := range blk.Nodes {
+			if !n.Defer {
+				bf.nodes = append(bf.nodes, nodeFacts{
+					pos:  n.Ast.Pos(),
+					end:  n.Ast.End(),
+					must: cloneLockSet(mf),
+					may:  cloneLockSet(yf),
+				})
+			}
+			for _, op := range lockOpsIn(fset, info, n) {
+				if !op.acquire && !yf[op.key] {
+					if _, paired := bf.gen[op.key]; paired {
+						id := fmt.Sprintf("%s@%d", op.key, op.pos)
+						if !seenOrphan[id] {
+							seenOrphan[id] = true
+							bf.orphans = append(bf.orphans, op)
+						}
+					}
+				}
+				apply(mf, op)
+				apply(yf, op)
+			}
+		}
+	}
+	sort.Slice(bf.orphans, func(i, j int) bool {
+		if bf.orphans[i].pos != bf.orphans[j].pos {
+			return bf.orphans[i].pos < bf.orphans[j].pos
+		}
+		return bf.orphans[i].key < bf.orphans[j].key
+	})
+
+	// Direct function literals get their own flows; nested literals
+	// belong to their parent literal's bodyFlow.
+	if body != nil {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				bf.lits = append(bf.lits, &litFlow{lit: lit, flow: newBodyFlow(fset, info, lit.Body)})
+				return false
+			}
+			return true
+		})
+	}
+	return bf
+}
+
+// factAt returns the facts before the innermost node containing pos,
+// or nil when no node spans it (dead code, positions outside the body).
+func (bf *bodyFlow) factAt(pos token.Pos) *nodeFacts {
+	var best *nodeFacts
+	for i := range bf.nodes {
+		nf := &bf.nodes[i]
+		if pos < nf.pos || pos >= nf.end {
+			continue
+		}
+		if best == nil || nf.end-nf.pos < best.end-best.pos {
+			best = nf
+		}
+	}
+	return best
+}
+
+// held answers "is key (write- or read-) locked at pos", under the
+// must lattice (every path) or the may lattice (some path). Positions
+// inside a function literal consult the literal's own flow, falling
+// back to the enclosing state where the literal was created — the
+// closure either locks for itself or inherits the lock its creator
+// held when building it (the `defer func() { ... }()` cleanup shape).
+func (bf *bodyFlow) held(key string, pos token.Pos, mustHeld bool) bool {
+	for _, lf := range bf.lits {
+		if pos >= lf.lit.Body.Pos() && pos < lf.lit.Body.End() {
+			return lf.flow.held(key, pos, mustHeld) || bf.held(key, lf.lit.Pos(), mustHeld)
+		}
+	}
+	nf := bf.factAt(pos)
+	if nf == nil {
+		return false
+	}
+	set := nf.must
+	if !mustHeld {
+		set = nf.may
+	}
+	return set[key] || set[key+rlockSuffix]
+}
+
+// anyHeld reports whether any lock may be held at pos (same literal
+// fallback as held).
+func (bf *bodyFlow) anyHeld(pos token.Pos) bool {
+	for _, lf := range bf.lits {
+		if pos >= lf.lit.Body.Pos() && pos < lf.lit.Body.End() {
+			return lf.flow.anyHeld(pos) || bf.anyHeld(lf.lit.Pos())
+		}
+	}
+	nf := bf.factAt(pos)
+	return nf != nil && len(nf.may) > 0
+}
+
+// pairFindings emits the two pairing findings of this body and its
+// literals: a lock still held on some path at exit (after the defer
+// replays ran, so it is a real leak on that path), and a release no
+// path can pair with an acquisition.
+func (bf *bodyFlow) pairFindings(fset *token.FileSet) []Finding {
+	var out []Finding
+	for _, key := range sortedKeys(bf.exitMay) {
+		genPos, ok := bf.gen[key]
+		if !ok {
+			continue
+		}
+		expr, read := displayKey(key)
+		lockName, unlockName := "Lock", "Unlock"
+		if read {
+			lockName, unlockName = "RLock", "RUnlock"
+		}
+		out = append(out, Finding{
+			Pos:  fset.Position(genPos),
+			Rule: "lockcheck",
+			Msg: fmt.Sprintf("%s.%s() is not released on every path out of the function "+
+				"(defer %s.%s() or release before each return, or //lint:ignore lockcheck <reason>)",
+				expr, lockName, expr, unlockName),
+		})
+	}
+	for _, op := range bf.orphans {
+		expr, read := displayKey(op.key)
+		lockName, unlockName := "Lock", "Unlock"
+		if read {
+			lockName, unlockName = "RLock", "RUnlock"
+		}
+		out = append(out, Finding{
+			Pos:  fset.Position(op.pos),
+			Rule: "lockcheck",
+			Msg: fmt.Sprintf("%s.%s() releases a lock not held on any path here "+
+				"(double release or missing %s.%s(); fix the pairing, or //lint:ignore lockcheck <reason>)",
+				expr, unlockName, expr, lockName),
+		})
+	}
+	for _, lf := range bf.lits {
+		out = append(out, lf.flow.pairFindings(fset)...)
+	}
+	return out
+}
+
+// lockFlow is the per-function façade the interprocedural pass
+// queries: one bodyFlow for the declaration body plus the recursive
+// literal flows hanging off it.
+type lockFlow struct {
+	root *bodyFlow
+}
+
+func newLockFlow(fset *token.FileSet, info *types.Info, fd *ast.FuncDecl) *lockFlow {
+	return &lockFlow{root: newBodyFlow(fset, info, fd.Body)}
+}
+
+// heldAt reports whether <base>.<mu> is held on every path reaching
+// pos (a read lock counts: guarded reads and writes are not
+// distinguished, matching v2).
+func (lf *lockFlow) heldAt(base, mu string, pos token.Pos) bool {
+	return lf.root.held(lockKey(base, mu), pos, true)
+}
+
+// mayHeldAt reports whether <base>.<mu> is held on some path reaching
+// pos — the test behind the deadlock check: one path re-acquiring is
+// enough to hang.
+func (lf *lockFlow) mayHeldAt(base, mu string, pos token.Pos) bool {
+	return lf.root.held(lockKey(base, mu), pos, false)
+}
+
+// anyHeldAt reports whether any lock may be held at pos (feeds the
+// dead-Locked-annotation check).
+func (lf *lockFlow) anyHeldAt(pos token.Pos) bool {
+	return lf.root.anyHeld(pos)
+}
+
+// flowFindings returns the pairing findings of the whole function.
+func (lf *lockFlow) flowFindings(fset *token.FileSet) []Finding {
+	return lf.root.pairFindings(fset)
+}
+
+func lockKey(base, mu string) string {
+	if base == "" {
+		return mu
+	}
+	return base + "." + mu
+}

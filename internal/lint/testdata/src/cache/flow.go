@@ -1,0 +1,101 @@
+package cache
+
+import "sync"
+
+// This file exercises lockcheck v3's flow-sensitive core: the lexical
+// v2 scan (Lock-before-position, Unlock ignored) gets every function
+// here wrong in one direction or the other.
+
+// ReleaseEarly pins the v2 false-positive class the rewrite fixes:
+// v2's lexical scan saw the Lock above the Inc callsite and flagged it
+// as a re-acquisition deadlock, but no path reaches Inc with mu still
+// held — both branches release first. v3 must stay silent.
+func (c *Counter) ReleaseEarly(cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.n++
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	c.Inc()
+}
+
+// StaleRead re-reads the guarded field after releasing. v2's lexical
+// scan waved it through (a Lock appears earlier); v3 knows the lock is
+// not held on the path reaching the second read.
+func (c *Counter) StaleRead() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v + c.n // want lockcheck
+}
+
+// LeakOnFail releases on the happy path only: the fail branch returns
+// with mu still held. Reported at the acquisition.
+func (c *Counter) LeakOnFail(fail bool) int {
+	c.mu.Lock() // want lockcheck
+	if fail {
+		return -1
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// DoubleRelease unlocks twice on the fall-through path: the second
+// release pairs with no acquisition on any path reaching it.
+func (c *Counter) DoubleRelease(cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	c.mu.Unlock() // want lockcheck
+}
+
+// BothArms locks in both branches before the access: must-held at the
+// join, so the flow-sensitive check accepts what any lexical
+// single-Lock pattern match would model poorly.
+func (c *Counter) BothArms(cond bool) int {
+	if cond {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// release frees a lock its caller acquired: no acquisition in this
+// body, so the unpaired-release check must exempt it (only releases
+// with a matching Lock somewhere in the same body qualify). Deliberately
+// not named *Locked — the dead-annotation check is a separate concern.
+func (c *Counter) release() {
+	c.mu.Unlock()
+}
+
+// Board carries a read-write lock so the R-variants get flow coverage.
+type Board struct {
+	rw sync.RWMutex
+	v  int // guarded by rw
+}
+
+// Read holds the read lock on every path to the access: clean, and a
+// read lock discharges a guarded read.
+func (b *Board) Read() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.v
+}
+
+// ReadLeak drops the read lock on the early-return path.
+func (b *Board) ReadLeak(skip bool) int {
+	b.rw.RLock() // want lockcheck
+	if skip {
+		return 0
+	}
+	v := b.v
+	b.rw.RUnlock()
+	return v
+}

@@ -1,0 +1,106 @@
+// Package par in fixture directory ctxuse exercises ctxflow: a
+// function that receives a context.Context must thread it into every
+// blocking or spawning operation. The package is named par so gobound's
+// worker-pool exemption applies and the spawn cases test ctxflow alone.
+package par
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// SendUnguarded blocks on a send the context cannot interrupt.
+func SendUnguarded(ctx context.Context, ch chan int) {
+	ch <- 1 // want ctxflow
+}
+
+// SendGuarded wraps the send in a select watching ctx.Done: clean.
+func SendGuarded(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// TrySend uses a default arm: the send is non-blocking, clean.
+func TrySend(ctx context.Context, ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// RecvUnguarded blocks on a receive with no cancellation path.
+func RecvUnguarded(ctx context.Context, ch chan int) int {
+	return <-ch // want ctxflow
+}
+
+type ctxKey struct{}
+
+// RecvDerived receives under a derived context's Done channel: the
+// context.WithValue result counts as the threaded context.
+func RecvDerived(ctx context.Context, ch chan int) int {
+	sub := context.WithValue(ctx, ctxKey{}, 1)
+	select {
+	case v := <-ch:
+		return v
+	case <-sub.Done():
+		return 0
+	}
+}
+
+// DrainAll ranges over a channel: no cancellation path can interrupt
+// the implicit receives.
+func DrainAll(ctx context.Context, ch chan int) (sum int) {
+	for v := range ch { // want ctxflow
+		sum += v
+	}
+	return sum
+}
+
+// Nap sleeps straight through any cancellation.
+func Nap(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want ctxflow
+}
+
+// FreshRoot manufactures a new root while a context is in hand,
+// detaching the downstream call tree from cancellation.
+func FreshRoot(ctx context.Context) context.Context {
+	return context.Background() // want ctxflow
+}
+
+// SpawnDropsCtx launches a goroutine the context cannot reach. The
+// caller-owned WaitGroup keeps leakcheck satisfied (another scope owns
+// the join); ctxflow still flags the context-blind spawn.
+func SpawnDropsCtx(ctx context.Context, wg *sync.WaitGroup, fn func()) {
+	wg.Add(1)
+	go func() { // want ctxflow
+		defer wg.Done()
+		fn()
+	}()
+}
+
+// SpawnThreaded passes the context into the closure: cancellation can
+// reach the goroutine, clean.
+func SpawnThreaded(ctx context.Context, wg *sync.WaitGroup, fn func(context.Context)) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn(ctx)
+	}()
+}
+
+// Suppressed uses the inline escape hatch.
+func Suppressed(ctx context.Context) {
+	//lint:ignore ctxflow fixture for the suppression path
+	time.Sleep(time.Millisecond)
+}
+
+// NoCtx receives no context, so ctxflow does not apply: the bare
+// receive is fine here.
+func NoCtx(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,25 @@
+// Package ign is a lint fixture for lintignore: every lint:ignore
+// directive must carry a justification after its rule list. A bare
+// directive is itself flagged and suppresses nothing, so the finding it
+// tried to waive surfaces too.
+package ign
+
+// Unjustified carries a rule but no reason: the directive is flagged
+// and the panic it tried to waive is reported anyway.
+func Unjustified() {
+	//lint:ignore panicfree // want lintignore
+	panic("boom") // want panicfree
+}
+
+// NoRule names no rule at all.
+func NoRule() {
+	//lint:ignore // want lintignore
+	panic("boom") // want panicfree
+}
+
+// Justified is the well-formed escape hatch: it suppresses and is not
+// itself flagged.
+func Justified() {
+	//lint:ignore panicfree fixture for the justified path
+	panic("boom")
+}

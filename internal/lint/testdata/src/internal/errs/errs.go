@@ -46,10 +46,33 @@ func Builder() string {
 	return b.String()
 }
 
-// Deferred best-effort cleanup is the idiomatic place to drop an
-// error: not flagged.
+// Deferred drops are exempt only for Close/Unlock-shaped cleanups: a
+// deferred flush hides a real failure and is flagged.
 func Deferred() {
-	defer fallible()
+	defer fallible() // want errdrop
+}
+
+// closer mimics an io.Closer-shaped resource.
+type closer struct{}
+
+func (closer) Close() error { return errors.New("late") }
+
+// DeferredClose is the idiomatic best-effort cleanup: not flagged.
+func DeferredClose() {
+	var c closer
+	defer c.Close()
+}
+
+// DeferredLit wraps drops in a deferred literal: the body is walked
+// like ordinary code, so the non-cleanup drop and the blanked error
+// are still flagged while the Close stays exempt.
+func DeferredLit() {
+	var c closer
+	defer func() {
+		c.Close()
+		fallible()     // want errdrop
+		_ = fallible() // want errdrop
+	}()
 }
 
 // Suppressed documents an intentional fire-and-forget.

@@ -1,0 +1,106 @@
+// Package par in fixture directory leak exercises leakcheck: a
+// spawned goroutine must be joined (its completion signal consumed on
+// every path) or cancellable. The package is named par so gobound's
+// worker-pool exemption applies and the spawns test leakcheck alone.
+package par
+
+import (
+	"errors"
+	"sync"
+)
+
+var errNope = errors.New("nope")
+
+// JoinAll waits on every path: clean.
+func JoinAll(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// SkipJoin drops the WaitGroup on the early-return path: the workers
+// outlive the call there.
+func SkipJoin(n int, fn func(int), bail bool) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want leakcheck
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	if bail {
+		return
+	}
+	wg.Wait()
+}
+
+// DoneDropped never receives from the done channel on the fail path:
+// the close cannot complete a join nobody performs, and the goroutine
+// is unreachable forever after.
+func DoneDropped(work func(), fail bool) error {
+	done := make(chan struct{})
+	go func() { // want leakcheck
+		work()
+		close(done)
+	}()
+	if fail {
+		return errNope
+	}
+	<-done
+	return nil
+}
+
+// SendJoined signals on a local unbuffered channel received on every
+// path: clean.
+func SendJoined(compute func() int) int {
+	out := make(chan int)
+	go func() {
+		out <- compute()
+	}()
+	return <-out
+}
+
+// HandOff passes the signal channel to another function: that function
+// may own the join, so the escape counts as consumption.
+func HandOff(work func(), join func(chan struct{})) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	join(done)
+}
+
+// Buffered signals on a buffered channel: the send cannot block the
+// goroutine, and the protocol belongs to whoever sized the buffer —
+// leakcheck leaves it alone.
+func Buffered(fn func()) {
+	done := make(chan struct{}, 1)
+	go func() {
+		fn()
+		done <- struct{}{}
+	}()
+}
+
+// Fire spawns a goroutine with no completion signal and no context in
+// the closure: nothing can ever join or cancel it.
+func Fire(fn func()) {
+	go func() { // want leakcheck
+		fn()
+	}()
+}
+
+// Suppressed uses the inline escape hatch.
+func Suppressed(fn func()) {
+	//lint:ignore leakcheck fixture for the suppression path
+	go func() {
+		fn()
+	}()
+}
