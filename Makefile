@@ -7,9 +7,9 @@ GO ?= go
 # graph caches, chase sessions, the worker pool, parallel PLL
 # construction) that must stay clean under the race detector. The cache
 # stripes, singleflight, and eviction paths all live in internal/match.
-RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par ./internal/distindex
+RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par ./internal/distindex ./cmd/wqe-serve
 
-.PHONY: all build vet fmt-check test race lint callgraph check-cfg check bench-parallel bench-batch bench-shard ci
+.PHONY: all build vet fmt-check test race lint callgraph check-cfg check serve-smoke bench-parallel bench-batch bench-shard ci
 
 all: build
 
@@ -45,8 +45,16 @@ callgraph:
 check-cfg:
 	$(GO) test ./internal/lint/cfg
 
+# End-to-end exercise of the serving layer: wqe-serve boots on an
+# ephemeral port, answers every endpoint against the Fig 1 fixture,
+# verifies /stats accounting, then drains and exits cleanly. Fully
+# deterministic — the fixture's optimum and the request counts are
+# pinned.
+serve-smoke:
+	$(GO) run ./cmd/wqe-serve -smoke
+
 # Everything a PR must pass, without the benchmark regeneration.
-check: build vet fmt-check test race lint
+check: build vet fmt-check test race lint serve-smoke
 
 # Regenerate BENCH_parallel.json: sequential vs parallel wall-clock of
 # the Q-Chase evaluation engine on the synthetic workload.

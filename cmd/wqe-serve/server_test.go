@@ -1,0 +1,258 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wqe/internal/chase"
+	"wqe/internal/datagen"
+)
+
+// newTestServer builds a server over the Fig 1 fixture and an
+// httptest listener in front of its mux.
+func newTestServer(t *testing.T, slots, queue int) (*server, *httptest.Server) {
+	t.Helper()
+	f := datagen.NewFig1()
+	cfg := chase.DefaultConfig()
+	cfg.Budget = 4
+	handles := []*graphHandle{{name: "fig1", g: f.G, session: chase.NewSession(f.G, cfg)}}
+	srv := newServer(handles, slots, queue, 30*time.Second)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestAdmissionBounds pins the admission state machine: a full waiting
+// room rejects with 429, a queued caller whose context is already done
+// bails with the client-gone status without ever holding a slot, a
+// released slot is reusable, and after drain every acquire is 503.
+func TestAdmissionBounds(t *testing.T) {
+	a := newAdmission(1, 1)
+
+	release, status := a.acquire(context.Background())
+	if status != 0 || release == nil {
+		t.Fatalf("first acquire: status %d", status)
+	}
+
+	// Slot held, waiting room sized 1: a second caller may wait, a
+	// third is turned away at the door.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, st := a.acquire(ctx); st != statusClientGone {
+		t.Errorf("queued caller with dead context: status %d, want %d", st, statusClientGone)
+	}
+	if w, r, _ := a.snapshot(); w != 0 || r != 1 {
+		t.Errorf("gauges after bail: waiting=%d running=%d, want 0/1", w, r)
+	}
+
+	release()
+	release2, status := a.acquire(context.Background())
+	if status != 0 {
+		t.Fatalf("reacquire after release: status %d", status)
+	}
+	if _, st := a.acquire(ctx); st != statusClientGone {
+		t.Errorf("dead-context caller: status %d, want %d", st, statusClientGone)
+	}
+	release2()
+
+	a.beginDrain()
+	if _, st := a.acquire(context.Background()); st != http.StatusServiceUnavailable {
+		t.Errorf("acquire after drain: status %d, want 503", st)
+	}
+	if _, _, draining := a.snapshot(); !draining {
+		t.Error("snapshot does not report draining")
+	}
+}
+
+// TestAdmissionQueueFull fills the waiting room through real blocked
+// waiters and checks the 429 path, then verifies drain flushes every
+// queued caller with 503.
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 1)
+	release, status := a.acquire(context.Background())
+	if status != 0 {
+		t.Fatalf("acquire: status %d", status)
+	}
+
+	// One caller blocks in the waiting room (capacity 1)...
+	queued := make(chan int, 1)
+	go func() {
+		_, st := a.acquire(context.Background())
+		queued <- st
+	}()
+	for {
+		if w, _, _ := a.snapshot(); w == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...so the next caller is rejected at the door.
+	if _, st := a.acquire(context.Background()); st != http.StatusTooManyRequests {
+		t.Errorf("overflow caller: status %d, want 429", st)
+	}
+
+	// Drain flushes the queued caller with 503; the slot holder must
+	// release before beginDrain can return.
+	done := make(chan struct{})
+	go func() {
+		a.beginDrain()
+		close(done)
+	}()
+	if st := <-queued; st != http.StatusServiceUnavailable {
+		t.Errorf("queued caller after drain: status %d, want 503", st)
+	}
+	release()
+	<-done
+}
+
+// TestCancelledClientStopsChase sends a request whose context is
+// already cancelled. Depending on which select arm wins, the job either
+// never starts (client-gone: nothing written) or runs with the cancel
+// channel wired through to the chase — in which case it must stop
+// before the uncancelled run's step count.
+func TestCancelledClientStopsChase(t *testing.T) {
+	srv, ts := newTestServer(t, 2, 8)
+
+	status, b, err := smokePost(ts.URL+"/ask", smokeAskBody(""))
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("baseline /ask: status %d err %v", status, err)
+	}
+	var baseline askResponse
+	if err := json.Unmarshal(b, &baseline); err != nil {
+		t.Fatalf("baseline decode: %v", err)
+	}
+	if baseline.Steps < 2 {
+		t.Fatalf("fixture too small: baseline took %d steps", baseline.Steps)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/ask",
+		strings.NewReader(string(smokeAskBody("")))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, req)
+
+	if rec.Body.Len() == 0 {
+		// Client-gone path: the job never started and was only counted.
+		if got := srv.stats.clientGone.Load(); got != 1 {
+			t.Errorf("client_gone = %d, want 1", got)
+		}
+		return
+	}
+	var r askResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+		t.Fatalf("cancelled response decode: %v (body %q)", err, rec.Body.String())
+	}
+	if r.Steps >= baseline.Steps {
+		t.Errorf("cancelled chase ran %d steps, baseline %d — cancel channel not wired through",
+			r.Steps, baseline.Steps)
+	}
+}
+
+// TestDrainStress is the graceful-shutdown race check (run under
+// -race): concurrent clients hammer /ask while the server drains
+// mid-flight. Invariants: every response is a complete 200 answer or a
+// clean 429/503 rejection; every admitted job completes (none dropped);
+// and no job is admitted after drain returns.
+func TestDrainStress(t *testing.T) {
+	srv, ts := newTestServer(t, 2, 64)
+	body := smokeAskBody("")
+
+	type outcome struct {
+		status   int
+		err      error
+		complete bool // 200 bodies only: decoded to a full answer
+	}
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				status, b, err := smokePost(ts.URL+"/ask", body)
+				o := outcome{status: status, err: err}
+				if err == nil && status == http.StatusOK {
+					var r askResponse
+					o.complete = json.Unmarshal(b, &r) == nil && r.Rewrite != ""
+				}
+				mu.Lock()
+				outcomes = append(outcomes, o)
+				mu.Unlock()
+				if status == http.StatusServiceUnavailable {
+					return // drained: this client is done
+				}
+			}
+		}()
+	}
+
+	// Let real work get admitted, then drain mid-flight.
+	for srv.stats.admitted.Load() < 16 {
+		time.Sleep(time.Millisecond)
+	}
+	srv.drain()
+	admitted := srv.stats.admitted.Load()
+	completed := srv.stats.completed.Load()
+	close(stop)
+	wg.Wait()
+
+	// When drain returns, every admitted job has already answered: the
+	// counters are frozen and balanced (the fixture job cannot fail).
+	if admitted != completed {
+		t.Errorf("drain dropped in-flight jobs: admitted %d, completed %d", admitted, completed)
+	}
+	if errs := srv.stats.jobErrors.Load(); errs != 0 {
+		t.Errorf("job errors under stress: %d", errs)
+	}
+	if now := srv.stats.admitted.Load(); now != admitted {
+		t.Errorf("job admitted after drain returned: %d -> %d", admitted, now)
+	}
+
+	status, _, err := smokePost(ts.URL+"/ask", body)
+	if err != nil || status != http.StatusServiceUnavailable {
+		t.Errorf("post-drain probe: status %d err %v, want 503", status, err)
+	}
+	if now := srv.stats.admitted.Load(); now != admitted {
+		t.Errorf("post-drain probe was admitted: %d -> %d", admitted, now)
+	}
+
+	for i, o := range outcomes {
+		switch {
+		case o.err != nil:
+			t.Errorf("request %d: transport error %v", i, o.err)
+		case o.status == http.StatusOK && !o.complete:
+			t.Errorf("request %d: 200 with incomplete body", i)
+		case o.status != http.StatusOK &&
+			o.status != http.StatusTooManyRequests &&
+			o.status != http.StatusServiceUnavailable:
+			t.Errorf("request %d: unexpected status %d", i, o.status)
+		}
+	}
+	if srv.stats.completed.Load() == 0 {
+		t.Error("stress test exercised nothing: zero completed jobs")
+	}
+}
+
+// TestSmokeEndToEnd runs the -smoke self-exercise, covering every
+// endpoint, the /stats accounting, and the drain handshake in one go.
+func TestSmokeEndToEnd(t *testing.T) {
+	cfg := chase.DefaultConfig()
+	if err := runSmoke(cfg, 2, 8); err != nil {
+		t.Fatalf("smoke: %v", err)
+	}
+}

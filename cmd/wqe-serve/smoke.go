@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"wqe/internal/chase"
+	"wqe/internal/datagen"
+	"wqe/internal/par"
+)
+
+// The Fig 1 cellphone fixture, inlined so -smoke runs from any
+// directory: the paper's example query (cellphones ≥ $840 with ≥ 4GB
+// RAM, sold by a carrier, with a sensor within 2 hops) and the exemplar
+// preferring 6.2"/6.3" phones under $800.
+const (
+	smokeQueryJSON = `{
+	 "focus": 0,
+	 "nodes": [
+	  {"label": "Cellphone", "literals": [
+	   {"attr": "Price", "op": ">=", "value": 840},
+	   {"attr": "RAM", "op": ">=", "value": 4}]},
+	  {"label": "Carrier"},
+	  {"label": "Sensor"}
+	 ],
+	 "edges": [
+	  {"from": 1, "to": 0, "bound": 1},
+	  {"from": 0, "to": 2, "bound": 2}
+	 ]
+	}`
+	smokeExemplarJSON = `{
+	 "tuples": [
+	  {"Display": {"const": 6.2}, "Price": {"wildcard": true}, "Storage": {"var": "x1"}},
+	  {"Display": {"const": 6.3}, "Price": {"var": "x3"}, "Storage": {"var": "x2"}}
+	 ],
+	 "constraints": [
+	  {"left": "x3", "op": "<", "const": 800},
+	  {"left": "x1", "op": ">", "right": "x2"}
+	 ]
+	}`
+)
+
+// runSmoke starts a real server on an ephemeral port, exercises every
+// endpoint against the built-in Fig 1 graph, checks /stats accounting,
+// then drains and shuts down cleanly. Every assertion is deterministic:
+// the fixture's optimal rewrite has closeness 0.5 at budget 4, and the
+// session counters are exact functions of the requests sent.
+func runSmoke(cfg chase.Config, slots, queueCap int) error {
+	f := datagen.NewFig1()
+	cfg.Budget = 4 // the Fig 1 optimum needs the Example 3.3 budget
+	handles := []*graphHandle{{name: "fig1", g: f.G, session: chase.NewSession(f.G, cfg)}}
+	srv := newServer(handles, par.Workers(slots), queueCap, 30*time.Second)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.mux()}
+	var group par.Group
+	var serveErr error
+	group.Go(func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			serveErr = err
+		}
+	})
+	base := "http://" + ln.Addr().String()
+	fmt.Println("wqe-serve: smoke: listening on", base)
+
+	smokeErr := smokeExercise(base)
+
+	// Drain first: the listener is still up, so new admissions must now
+	// be rejected with 503 — probe that before shutting the listener
+	// down and joining the accept loop.
+	srv.drain()
+	if smokeErr == nil {
+		status, _, err := smokePost(base+"/ask", smokeAskBody(""))
+		switch {
+		case err != nil:
+			smokeErr = fmt.Errorf("post-drain probe: %w", err)
+		case status != http.StatusServiceUnavailable:
+			smokeErr = fmt.Errorf("post-drain /ask: got %d, want 503", status)
+		default:
+			fmt.Println("wqe-serve: smoke: post-drain 503 ok")
+		}
+	}
+	if err := httpSrv.Shutdown(context.Background()); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	group.Wait()
+	if smokeErr != nil {
+		return smokeErr
+	}
+	if serveErr != nil {
+		return fmt.Errorf("serve: %w", serveErr)
+	}
+	return nil
+}
+
+// smokeAskBody renders a single-question payload for the fixture.
+func smokeAskBody(algo string) []byte {
+	body := map[string]interface{}{
+		"graph":    "fig1",
+		"query":    json.RawMessage(smokeQueryJSON),
+		"exemplar": json.RawMessage(smokeExemplarJSON),
+	}
+	if algo != "" {
+		body["algo"] = algo
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		// The payload is built from constants; this cannot fail.
+		panic(err)
+	}
+	return b
+}
+
+// smokeExercise drives every endpoint once and checks the outcomes.
+func smokeExercise(base string) error {
+	// Liveness and residency.
+	var health map[string]string
+	if err := smokeGet(base+"/healthz", &health); err != nil {
+		return err
+	}
+	if health["status"] != "ok" {
+		return fmt.Errorf("/healthz: %v", health)
+	}
+	var graphs []graphInfo
+	if err := smokeGet(base+"/graphs", &graphs); err != nil {
+		return err
+	}
+	if len(graphs) != 1 || graphs[0].Name != "fig1" || graphs[0].Nodes == 0 {
+		return fmt.Errorf("/graphs: %+v", graphs)
+	}
+	fmt.Printf("wqe-serve: smoke: /graphs ok (%s: %d nodes, %d edges)\n",
+		graphs[0].Name, graphs[0].Nodes, graphs[0].Edges)
+
+	// The exact search finds the paper's optimal rewrite.
+	var ask askResponse
+	if err := smokePostJSON(base+"/ask", smokeAskBody(""), &ask); err != nil {
+		return fmt.Errorf("/ask: %w", err)
+	}
+	if ask.Closeness != 0.5 || !ask.Satisfied {
+		return fmt.Errorf("/ask: closeness=%v satisfied=%v, want 0.5/true", ask.Closeness, ask.Satisfied)
+	}
+	fmt.Printf("wqe-serve: smoke: /ask ok (cl=%.2f, %d steps)\n", ask.Closeness, ask.Steps)
+
+	// Each remaining algorithm endpoint answers and reports effort.
+	for _, ep := range []string{"/askfast", "/why", "/whyempty", "/whymany"} {
+		var r askResponse
+		if err := smokePostJSON(base+ep, smokeAskBody(""), &r); err != nil {
+			return fmt.Errorf("%s: %w", ep, err)
+		}
+		if r.Steps < 1 || r.Rewrite == "" {
+			return fmt.Errorf("%s: empty outcome %+v", ep, r)
+		}
+		fmt.Printf("wqe-serve: smoke: %s ok (cl=%.2f)\n", ep, r.Closeness)
+	}
+	// /why must carry the explanation payload.
+	var why askResponse
+	if err := smokePostJSON(base+"/why", smokeAskBody(""), &why); err != nil {
+		return err
+	}
+	if why.Explanation == "" || len(why.Diff) == 0 {
+		return fmt.Errorf("/why: missing explanation/diff")
+	}
+
+	// Batch: three jobs over the shared session, answers in order.
+	batch := map[string]interface{}{
+		"graph": "fig1",
+		"jobs": []interface{}{
+			json.RawMessage(smokeAskBody("")),
+			json.RawMessage(smokeAskBody("heu")),
+			json.RawMessage(smokeAskBody("whymany")),
+		},
+	}
+	bb, err := json.Marshal(batch)
+	if err != nil {
+		panic(err) // constants in, cannot fail
+	}
+	var all askAllResponse
+	if err := smokePostJSON(base+"/askall", bb, &all); err != nil {
+		return fmt.Errorf("/askall: %w", err)
+	}
+	if all.Stats.Jobs != 3 || all.Stats.Failed != 0 || len(all.Results) != 3 {
+		return fmt.Errorf("/askall stats: %+v", all.Stats)
+	}
+	if all.Results[0].Answer == nil || all.Results[0].Answer.Closeness != 0.5 {
+		return fmt.Errorf("/askall job 1: %+v", all.Results[0])
+	}
+	fmt.Printf("wqe-serve: smoke: /askall ok (%d jobs, %d steps)\n", all.Stats.Jobs, all.Stats.Steps)
+
+	// Malformed payloads and unknown graphs are 400s, not crashes.
+	if status, _, err := smokePost(base+"/ask", []byte(`{"graph":"nope"}`)); err != nil || status != http.StatusBadRequest {
+		return fmt.Errorf("unknown graph: status=%d err=%v, want 400", status, err)
+	}
+	if status, _, err := smokePost(base+"/ask", []byte(`not json`)); err != nil || status != http.StatusBadRequest {
+		return fmt.Errorf("bad payload: status=%d err=%v, want 400", status, err)
+	}
+
+	// /stats accounting: 6 single questions + 3 batch jobs ran, the
+	// shared cache served repeats, and nothing was rejected.
+	var stats statsResponse
+	if err := smokeGet(base+"/stats", &stats); err != nil {
+		return err
+	}
+	sc := stats.Graphs["fig1"]
+	if sc.Questions != 9 {
+		return fmt.Errorf("/stats questions = %d, want 9", sc.Questions)
+	}
+	if sc.Steps < 9 {
+		return fmt.Errorf("/stats steps = %d, want ≥ 9", sc.Steps)
+	}
+	if sc.Cache.Hits == 0 || sc.Cache.Size == 0 {
+		return fmt.Errorf("/stats cache counters flat: %+v", sc.Cache)
+	}
+	if stats.Requests.BadRequest != 2 || stats.Requests.RejectedFull != 0 {
+		return fmt.Errorf("/stats requests: %+v", stats.Requests)
+	}
+	fmt.Printf("wqe-serve: smoke: /stats ok (%d questions, %d steps, cache %d/%d hit/miss, %d evictions)\n",
+		sc.Questions, sc.Steps, sc.Cache.Hits, sc.Cache.Misses, sc.Cache.Evictions)
+	return nil
+}
+
+// smokeGet fetches a JSON endpoint into out.
+func smokeGet(url string, out interface{}) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// smokePost posts a JSON body and returns status and response bytes.
+func smokePost(url string, body []byte) (int, []byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, b, nil
+}
+
+// smokePostJSON posts and decodes a 200 JSON response into out.
+func smokePostJSON(url string, body []byte, out interface{}) error {
+	status, b, err := smokePost(url, body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d: %s", url, status, bytes.TrimSpace(b))
+	}
+	return json.Unmarshal(b, out)
+}

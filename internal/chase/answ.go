@@ -223,7 +223,7 @@ func (w *Why) TopK(k int) []Answer {
 		if w.stepsUsed() >= w.Cfg.MaxSteps {
 			break
 		}
-		if w.expired(deadline) {
+		if w.stop(deadline) {
 			break
 		}
 		s := pq[0] // peek

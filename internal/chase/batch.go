@@ -15,8 +15,15 @@ type BatchJob struct {
 	Q *query.Query
 	E *exemplar.Exemplar
 
-	// Beam selects the algorithm: 0 runs the exact anytime AnsW, any
-	// positive value runs the AnsHeu beam search with that width.
+	// Algo selects the algorithm: "" or "answ" runs the exact anytime
+	// AnsW (unless Beam > 0, which keeps the historical meaning of a
+	// bare Beam field and runs AnsHeu), "heu" runs the beam search,
+	// "whymany" runs ApxWhyM, "whyempty" runs AnsWE, and "fmansw" runs
+	// the mining baseline. Unknown values fail the job in its slot.
+	Algo string
+
+	// Beam selects the beam width for "heu" (default 3). With Algo
+	// empty, any positive Beam runs AnsHeu — the pre-Algo contract.
 	Beam int
 
 	// MaxSteps, when positive, overrides the session config's per-job
@@ -25,8 +32,22 @@ type BatchJob struct {
 
 	// TimeLimit, when positive, overrides the session config's per-job
 	// deadline. Deadlines are anytime cutoffs: the job still returns its
-	// best rewrite so far.
+	// best rewrite so far. AskAll anchors the limit at *submission* —
+	// the moment the batch is handed over — so time the job spends
+	// queued behind other jobs counts against it (the queue-wait
+	// bugfix); an explicit Deadline below wins over this.
 	TimeLimit time.Duration
+
+	// Deadline, when non-zero, is this job's absolute cutoff on the
+	// session clock. It wins over TimeLimit. Servers set it from the
+	// request's submission time plus the request budget.
+	Deadline time.Time
+
+	// Cancel, when non-nil, stops this job's search when closed (the
+	// job reports ErrCancelled if it never started, or its best-so-far
+	// answer if it was already running). It overrides any batch-level
+	// cancel signal for this job.
+	Cancel <-chan struct{}
 }
 
 // BatchResult is one job's outcome, reported in submission order.
@@ -43,10 +64,12 @@ type BatchResult struct {
 
 // BatchStats aggregates one AskAll call.
 type BatchStats struct {
-	Jobs    int   // jobs submitted
-	Failed  int   // jobs that returned an error
-	Workers int   // resolved outer worker count
-	Steps   int64 // total simulated Q-Chase steps across all jobs
+	Jobs      int   // jobs submitted
+	Failed    int   // jobs that returned an error
+	Cancelled int   // jobs that never started because the batch was cancelled
+	Workers   int   // resolved outer worker count
+	Steps     int64 // total simulated Q-Chase steps across all jobs
+	States    int64 // total frontier states pushed across all jobs
 
 	// CacheHits/CacheMisses are the shared star-view cache's deltas over
 	// the batch. Under concurrent jobs the split between two jobs racing
@@ -66,7 +89,20 @@ type BatchOptions struct {
 	// budget, so Workers×Config.Workers never oversubscribes the
 	// machine.
 	Workers int
+
+	// Cancel, when non-nil, cancels the whole batch when closed: jobs
+	// that have not started yet fail fast with ErrCancelled in their
+	// slots, and running jobs stop within one claim iteration and
+	// return their best rewrite so far (releasing any helper-budget
+	// tokens they held). A per-job BatchJob.Cancel overrides this for
+	// that job's running phase.
+	Cancel <-chan struct{}
 }
+
+// ErrCancelled marks a batch job that was cancelled before its search
+// started. A job cancelled *mid-search* is not an error: it returns its
+// best-so-far rewrite like any other anytime cutoff.
+const ErrCancelled = chaseError("chase: job cancelled before start")
 
 // AskAll answers a batch of Why-questions concurrently over the
 // session's shared graph, star-view cache, and distance oracle.
@@ -79,8 +115,13 @@ type BatchOptions struct {
 // star-view cache can only change which builds are shared, never what a
 // star table contains. One failing job does not disturb the others; its
 // error is reported in its slot and counted in BatchStats.Failed.
+//
+// Per-job TimeLimits anchor at the batch's submission instant (the
+// AskAll call), not at each job's own start: a job that waits behind
+// others in the slot queue pays for the wait. Jobs that need a shared
+// wall-clock budget across the whole batch set Deadline instead.
 func (s *Session) AskAll(jobs []BatchJob, opt BatchOptions) ([]BatchResult, BatchStats) {
-	start := s.clock()
+	submit := s.clock()
 	var h0, m0 int64
 	if s.cache != nil {
 		h0, m0 = s.cache.Stats()
@@ -89,27 +130,70 @@ func (s *Session) AskAll(jobs []BatchJob, opt BatchOptions) ([]BatchResult, Batc
 	results := make([]BatchResult, len(jobs))
 	workers := par.Workers(opt.Workers)
 	par.ForEachIn(s.budget, workers, len(jobs), func(i int) {
-		results[i] = s.runJob(jobs[i])
+		if cancelledJob(jobs[i], opt.Cancel) {
+			results[i] = BatchResult{Err: ErrCancelled}
+			return
+		}
+		results[i] = s.runJob(jobs[i], submit, opt.Cancel)
 	})
 
 	stats := BatchStats{Jobs: len(jobs), Workers: workers}
 	for i := range results {
-		if results[i].Err != nil {
+		switch results[i].Err {
+		case nil:
+		case ErrCancelled:
+			stats.Cancelled++
+			stats.Failed++
+		default:
 			stats.Failed++
 		}
 		stats.Steps += int64(results[i].Steps)
+		stats.States += int64(results[i].States)
 	}
 	if s.cache != nil {
 		h1, m1 := s.cache.Stats()
 		stats.CacheHits, stats.CacheMisses = h1-h0, m1-m0
 	}
-	stats.Elapsed = s.clock().Sub(start)
+	stats.Elapsed = s.clock().Sub(submit)
 	return results, stats
 }
 
+// Run answers one job immediately against the session's shared state,
+// with the job's cancel signal and deadline applied and its TimeLimit
+// anchored now — the single-question entry point a server calls per
+// request. Queue wait before this call is the caller's to account for
+// (set Deadline at admission).
+func (s *Session) Run(j BatchJob) BatchResult {
+	return s.runJob(j, s.clock(), nil)
+}
+
+// cancelled polls a cancel channel without blocking; nil never cancels.
+func cancelled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelledJob resolves whether a not-yet-started job is cancelled: its
+// own Cancel wins when set, otherwise the batch-level signal applies.
+func cancelledJob(j BatchJob, batch <-chan struct{}) bool {
+	if j.Cancel != nil {
+		return cancelled(j.Cancel)
+	}
+	return cancelled(batch)
+}
+
 // runJob compiles and runs one batch job against the session's shared
-// state.
-func (s *Session) runJob(j BatchJob) BatchResult {
+// state. submit is the instant the job was handed over (the AskAll
+// call or the server's admission), anchoring relative time limits so
+// queue wait is charged to the job.
+func (s *Session) runJob(j BatchJob, submit time.Time, batchCancel <-chan struct{}) BatchResult {
 	if j.Q == nil || j.E == nil {
 		return BatchResult{Err: errNilJob}
 	}
@@ -120,16 +204,49 @@ func (s *Session) runJob(j BatchJob) BatchResult {
 	if j.TimeLimit > 0 {
 		cfg.TimeLimit = j.TimeLimit
 	}
+	// Convert the relative limit into an absolute deadline anchored at
+	// submission. Why.deadline gives Config.Deadline precedence over
+	// TimeLimit, so a queued job's wait is no longer free time.
+	switch {
+	case !j.Deadline.IsZero():
+		cfg.Deadline = j.Deadline
+	case cfg.TimeLimit > 0:
+		cfg.Deadline = submit.Add(cfg.TimeLimit)
+	}
+	if j.Cancel != nil {
+		cfg.Cancel = j.Cancel
+	} else if batchCancel != nil {
+		cfg.Cancel = batchCancel
+	}
 	w, err := newWhyWith(s.G, j.Q, j.E, cfg, s.dist, s.cache, s.budget)
 	if err != nil {
 		return BatchResult{Err: err}
 	}
+	// Deadlines and elapsed stats must read the same clock the session
+	// anchored submit on, or fake-clock tests (and any future clock
+	// injection) would compare instants from two different timelines.
+	w.clock = s.clock
 	var a Answer
-	if j.Beam > 0 {
-		a = w.AnsHeu(j.Beam)
-	} else {
+	switch {
+	case j.Algo == "" && j.Beam > 0, j.Algo == "heu":
+		beam := j.Beam
+		if beam < 1 {
+			beam = 3
+		}
+		a = w.AnsHeu(beam)
+	case j.Algo == "", j.Algo == "answ":
 		a = w.AnsW()
+	case j.Algo == "whymany":
+		a = w.ApxWhyM()
+	case j.Algo == "whyempty":
+		a = w.AnsWE()
+	case j.Algo == "fmansw":
+		a = w.FMAnsW()
+	default:
+		return BatchResult{Err: chaseError("chase: unknown batch algo " + j.Algo)}
 	}
+	s.questions.Add(1)
+	s.steps.Add(int64(w.Stats.Steps))
 	return BatchResult{
 		Answer:  a,
 		Steps:   w.Stats.Steps,

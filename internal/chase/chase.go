@@ -82,6 +82,21 @@ type Config struct {
 	// TimeLimit, when positive, stops the search after the wall-clock
 	// limit and returns the best rewrite so far (anytime behavior).
 	TimeLimit time.Duration
+	// Deadline, when non-zero, is an absolute cutoff (read against the
+	// question's clock) that wins over TimeLimit. TimeLimit anchors at
+	// algorithm start, so time a job spends queued — in AskAll slots or
+	// a server's admission queue — is free; callers that meter the whole
+	// request convert their limit to a Deadline at submission time
+	// instead (Session.AskAll and cmd/wqe-serve both do).
+	Deadline time.Time
+	// Cancel, when non-nil, stops the search as soon as the channel is
+	// closed: the anytime algorithms return the best rewrite found so
+	// far, exactly as a deadline expiry would. The signal is polled once
+	// per claim iteration (never inside an evaluation), so a cancelled
+	// chase stops within one claim step, its evaluation workers join,
+	// and any helper-budget tokens it held are released. Servers wire a
+	// disconnected client's done-channel here.
+	Cancel <-chan struct{}
 	// Workers bounds the evaluation worker pool the parallel algorithms
 	// fan rewrite evaluations out over: 0 (the default) uses one worker
 	// per logical CPU, 1 forces fully sequential evaluation. Output is
@@ -423,9 +438,15 @@ func (w *Why) forEach(workers, n int, fn func(i int)) {
 	par.ForEachIn(w.budget, workers, n, fn)
 }
 
-// deadline converts Config.TimeLimit into an absolute deadline (zero
-// when unlimited), anchored at the run's start on w.clock.
+// deadline resolves the run's absolute deadline (zero when unlimited).
+// An explicit Config.Deadline wins; otherwise Config.TimeLimit anchors
+// at the run's start on w.clock. The precedence is the queue-wait
+// bugfix: a relative limit anchored at algorithm start cannot charge
+// for time spent queued, an absolute deadline fixed at submission can.
 func (w *Why) deadline(start time.Time) time.Time {
+	if !w.Cfg.Deadline.IsZero() {
+		return w.Cfg.Deadline
+	}
 	if w.Cfg.TimeLimit <= 0 {
 		return time.Time{}
 	}
@@ -436,6 +457,28 @@ func (w *Why) deadline(start time.Time) time.Time {
 // deadline never expires.
 func (w *Why) expired(deadline time.Time) bool {
 	return !deadline.IsZero() && w.clock().After(deadline)
+}
+
+// cancelled polls Config.Cancel without blocking. A nil channel means
+// the question is not cancellable and the poll is free.
+func (w *Why) cancelled() bool {
+	if w.Cfg.Cancel == nil {
+		return false
+	}
+	select {
+	case <-w.Cfg.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// stop reports whether the current run must cut off: the deadline
+// passed or the question was cancelled. Every claim loop polls it once
+// per iteration, which bounds how long a cancelled chase keeps running
+// to a single claim step plus the evaluations already in flight.
+func (w *Why) stop(deadline time.Time) bool {
+	return w.expired(deadline) || w.cancelled()
 }
 
 // sortNodes sorts a node slice in place and returns it.

@@ -61,6 +61,100 @@ func TestBeamDeadlineCheckedPerCandidate(t *testing.T) {
 	}
 }
 
+// TestAbsoluteDeadlineWinsOverTimeLimit pins the Config.Deadline
+// contract both ways: an early absolute deadline cuts the search even
+// under a generous TimeLimit, and a far-future deadline lets the search
+// run to completion even when the relative TimeLimit alone would have
+// expired immediately.
+func TestAbsoluteDeadlineWinsOverTimeLimit(t *testing.T) {
+	f := datagen.NewFig1()
+
+	full, err := NewWhy(f.G, f.Q, f.E, DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewWhy: %v", err)
+	}
+	full.AnsW()
+	if full.Stats.Steps <= 2 {
+		t.Fatalf("fixture too small: unlimited run took only %d steps", full.Stats.Steps)
+	}
+
+	// Early Deadline, generous TimeLimit: the deadline must cut.
+	cfg := DefaultConfig()
+	cfg.TimeLimit = time.Hour
+	cfg.Deadline = time.Unix(0, 0).Add(6 * time.Millisecond)
+	w, err := NewWhy(f.G, f.Q, f.E, cfg)
+	if err != nil {
+		t.Fatalf("NewWhy: %v", err)
+	}
+	w.clock = fakeClock(4 * time.Millisecond)
+	ans := w.AnsW()
+	if w.Stats.Steps >= full.Stats.Steps {
+		t.Errorf("absolute deadline lost to the hour-long TimeLimit: %d steps", w.Stats.Steps)
+	}
+	if ans.Query == nil {
+		t.Error("anytime contract broken: no best-so-far answer returned")
+	}
+
+	// Far-future Deadline, instantly-expiring TimeLimit: the deadline
+	// must win, letting the search finish like the unlimited run.
+	cfg = DefaultConfig()
+	cfg.TimeLimit = time.Nanosecond
+	cfg.Deadline = time.Unix(0, 0).Add(time.Hour)
+	w, err = NewWhy(f.G, f.Q, f.E, cfg)
+	if err != nil {
+		t.Fatalf("NewWhy: %v", err)
+	}
+	w.clock = fakeClock(4 * time.Millisecond)
+	w.AnsW()
+	if w.Stats.Steps != full.Stats.Steps {
+		t.Errorf("far-future deadline still expired: %d steps, want %d",
+			w.Stats.Steps, full.Stats.Steps)
+	}
+}
+
+// TestAskAllAnchorsTimeLimitAtSubmission pins the queue-wait bugfix:
+// per-job TimeLimits anchor at the AskAll call, so a job that waits in
+// the slot queue behind another job pays for the wait. Two identical
+// jobs share one submission instant on the session's fake clock; with
+// Workers=1 the second starts after the first has consumed clock time,
+// so it must get strictly fewer steps in before the shared deadline.
+func TestAskAllAnchorsTimeLimitAtSubmission(t *testing.T) {
+	f := datagen.NewFig1()
+	s := NewSession(f.G, DefaultConfig())
+	s.clock = fakeClock(time.Millisecond)
+
+	job := BatchJob{Q: f.Q, E: f.E, TimeLimit: 10 * time.Millisecond}
+	results, stats := s.AskAll([]BatchJob{job, job}, BatchOptions{Workers: 1})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Answer.Query == nil || r.Steps < 1 {
+			t.Fatalf("job %d: empty outcome %+v", i, r)
+		}
+	}
+	if results[1].Steps >= results[0].Steps {
+		t.Errorf("queued job was not charged its wait: %d steps vs %d for the first job",
+			results[1].Steps, results[0].Steps)
+	}
+	if stats.Failed != 0 || stats.Jobs != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// An explicit absolute Deadline wins over the anchored TimeLimit:
+	// with a far-future deadline the same queued job runs unclamped.
+	free := job
+	free.Deadline = time.Unix(0, 0).Add(time.Hour)
+	results2, _ := s.AskAll([]BatchJob{job, free}, BatchOptions{Workers: 1})
+	if results2[1].Err != nil {
+		t.Fatalf("free job: %v", results2[1].Err)
+	}
+	if results2[1].Steps <= results[1].Steps {
+		t.Errorf("explicit Deadline did not override the anchored TimeLimit: %d steps vs %d clamped",
+			results2[1].Steps, results[1].Steps)
+	}
+}
+
 // TestTopKDeadlineDeterministic checks the best-first search against the
 // same fake clock: expiry stops the traversal early and still returns
 // the best rewrite found so far.

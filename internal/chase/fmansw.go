@@ -19,6 +19,7 @@ func (w *Why) FMAnsW() Answer {
 	start := w.clock()
 	w.beginRun()
 	defer w.endRun(start)
+	deadline := w.deadline(start)
 
 	rootAns, _ := w.evaluate(w.Q, nil)
 	focusLabel := w.Q.Nodes[w.Q.Focus].Label
@@ -128,12 +129,15 @@ func (w *Why) FMAnsW() Answer {
 	evaluatedQ := 0
 	n := len(feats)
 	for i := 0; i < n && evaluatedQ < maxQueries; i++ {
+		if w.stop(deadline) {
+			break
+		}
 		consider([]*feature{feats[i]})
 		evaluatedQ++
-		for j := i + 1; j < n && evaluatedQ < maxQueries; j++ {
+		for j := i + 1; j < n && evaluatedQ < maxQueries && !w.stop(deadline); j++ {
 			consider([]*feature{feats[i], feats[j]})
 			evaluatedQ++
-			for k := j + 1; k < n && evaluatedQ < maxQueries; k++ {
+			for k := j + 1; k < n && evaluatedQ < maxQueries && !w.stop(deadline); k++ {
 				consider([]*feature{feats[i], feats[j], feats[k]})
 				evaluatedQ++
 			}

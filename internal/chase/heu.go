@@ -84,7 +84,7 @@ func (w *Why) beamSearch(beam int, random bool) Answer {
 		var cands []*beamCand
 	claim:
 		for _, s := range frontier {
-			if simSteps >= w.Cfg.MaxSteps || w.expired(deadline) {
+			if simSteps >= w.Cfg.MaxSteps || w.stop(deadline) {
 				break
 			}
 			used := opTargets(s.seq)
@@ -111,10 +111,12 @@ func (w *Why) beamSearch(beam int, random bool) Answer {
 				if expanded >= beam {
 					break
 				}
-				// The deadline is re-checked per claimed candidate, not
-				// just per frontier state: one state's pool can be large
-				// enough to blow far past TimeLimit otherwise.
-				if simSteps >= w.Cfg.MaxSteps || w.expired(deadline) {
+				// The deadline (and the cancel signal) is re-checked per
+				// claimed candidate, not just per frontier state: one
+				// state's pool can be large enough to blow far past
+				// TimeLimit otherwise, and a cancelled chase must stop
+				// claiming mid-beam, not finish the level.
+				if simSteps >= w.Cfg.MaxSteps || w.stop(deadline) {
 					break claim
 				}
 				if s.cost+op.Op.Cost(w.G) > w.Cfg.Budget+1e-9 {

@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"sync/atomic"
 	"time"
 
 	"wqe/internal/distindex"
@@ -20,7 +21,7 @@ import (
 // time between search sessions").
 //
 // A Session is safe for concurrent use: any number of goroutines may
-// call Ask/AskFast/Why/AskAll on one Session. The shared pieces are
+// call Ask/AskFast/Why/Run/AskAll on one Session. The shared pieces are
 // each internally synchronized (the star-view cache) or immutable after
 // construction (the distance oracle, the warmed graph), and every
 // question compiled through the session draws its evaluation fan-out
@@ -33,8 +34,14 @@ type Session struct {
 	cache  *match.Cache
 	budget *par.Budget
 
-	// clock feeds batch wall-clock statistics only (never ranking);
-	// tests substitute a fake to pin elapsed-time plumbing.
+	// questions/steps accumulate across every question the session ran
+	// to completion (Ask, AskFast, Run, AskAll jobs, AskMultiFocus
+	// foci). They feed serving-layer stats; ranking never reads them.
+	questions atomic.Int64
+	steps     atomic.Int64
+
+	// clock feeds batch wall-clock statistics and submission-anchored
+	// deadlines; tests substitute a fake to pin time plumbing.
 	clock func() time.Time
 }
 
@@ -47,7 +54,7 @@ func NewSession(g *graph.Graph, cfg Config) *Session {
 		Cfg:    cfg,
 		dist:   distindex.Auto(g),
 		budget: par.SharedBudget(),
-		//lint:ignore detsource injectable-clock default; only BatchStats.Elapsed reads it, never ranking
+		//lint:ignore detsource injectable-clock default; only stats and anytime deadline cutoffs read it, never ranking
 		clock: time.Now,
 	}
 	if cfg.Cache {
@@ -60,7 +67,12 @@ func NewSession(g *graph.Graph, cfg Config) *Session {
 // prebuilt distance oracle, the shared star-view cache, and the helper
 // budget.
 func (s *Session) Why(q *query.Query, e *exemplar.Exemplar) (*Why, error) {
-	return newWhyWith(s.G, q, e, s.Cfg, s.dist, s.cache, s.budget)
+	w, err := newWhyWith(s.G, q, e, s.Cfg, s.dist, s.cache, s.budget)
+	if err != nil {
+		return nil, err
+	}
+	w.clock = s.clock
+	return w, nil
 }
 
 // Ask runs one search session: evaluate the query, and when an exemplar
@@ -71,7 +83,9 @@ func (s *Session) Ask(q *query.Query, e *exemplar.Exemplar) (Answer, error) {
 	if err != nil {
 		return Answer{}, err
 	}
-	return w.AnsW(), nil
+	a := w.AnsW()
+	s.countRun(w)
+	return a, nil
 }
 
 // AskFast is Ask with the beam heuristic, for interactive response
@@ -81,15 +95,51 @@ func (s *Session) AskFast(q *query.Query, e *exemplar.Exemplar, beam int) (Answe
 	if err != nil {
 		return Answer{}, err
 	}
-	return w.AnsHeu(beam), nil
+	a := w.AnsHeu(beam)
+	s.countRun(w)
+	return a, nil
+}
+
+// countRun folds one completed question's effort into the session's
+// cumulative counters.
+func (s *Session) countRun(w *Why) {
+	s.questions.Add(1)
+	s.steps.Add(int64(w.Stats.Steps))
 }
 
 // CacheStats reports the session cache's cumulative hits and misses.
+// Counters exposes the full per-counter set.
 func (s *Session) CacheStats() (hits, misses int64) {
 	if s.cache == nil {
 		return 0, 0
 	}
 	return s.cache.Stats()
+}
+
+// SessionCounters is the session's cumulative effort and cache counter
+// snapshot — the payload a serving layer's /stats endpoint reports per
+// resident graph. Everything is observability-only: ranking never reads
+// any of it.
+type SessionCounters struct {
+	// Questions counts Why-questions the session ran to completion;
+	// Steps totals their simulated Q-Chase steps (query evaluations).
+	Questions int64 `json:"questions"`
+	Steps     int64 `json:"steps"`
+	// Cache is the shared star-view cache's full counter set (zero
+	// values when the session runs uncached).
+	Cache match.CacheCounters `json:"cache"`
+}
+
+// Counters snapshots the session's cumulative counters lock-free.
+func (s *Session) Counters() SessionCounters {
+	c := SessionCounters{
+		Questions: s.questions.Load(),
+		Steps:     s.steps.Load(),
+	}
+	if s.cache != nil {
+		c.Cache = s.cache.Counters()
+	}
+	return c
 }
 
 // MultiFocusAnswer pairs one focus node with its rewrite.
@@ -98,14 +148,19 @@ type MultiFocusAnswer struct {
 	Answer Answer
 }
 
-// AnsWMultiFocus answers a Why-question whose query designates several
+// AskMultiFocus answers a Why-question whose query designates several
 // focus nodes (Appendix B "Queries with multiple focus nodes"): each
 // focus u_i is chased independently against its exemplar E_i — the
 // union exemplar keeps rep(E, V) unchanged per the appendix — and the
 // per-focus rewrites are returned together. foci and exemplars are
 // parallel slices.
-func AnsWMultiFocus(g *graph.Graph, q *query.Query, foci []query.NodeID,
-	exemplars []*exemplar.Exemplar, cfg Config) ([]MultiFocusAnswer, error) {
+//
+// Every focus compiles through the session's shared distance oracle,
+// star-view cache, and helper budget: the foci share star tables the
+// same way consecutive session questions do, instead of rebuilding the
+// oracle once per focus as the old standalone path did.
+func (s *Session) AskMultiFocus(q *query.Query, foci []query.NodeID,
+	exemplars []*exemplar.Exemplar) ([]MultiFocusAnswer, error) {
 
 	if len(foci) != len(exemplars) {
 		return nil, errFociMismatch
@@ -114,13 +169,29 @@ func AnsWMultiFocus(g *graph.Graph, q *query.Query, foci []query.NodeID,
 	for i, u := range foci {
 		qi := q.Clone()
 		qi.Focus = u
-		w, err := NewWhy(g, qi, exemplars[i], cfg)
+		w, err := s.Why(qi, exemplars[i])
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, MultiFocusAnswer{Focus: u, Answer: w.AnsW()})
+		a := w.AnsW()
+		s.countRun(w)
+		out = append(out, MultiFocusAnswer{Focus: u, Answer: a})
 	}
 	return out, nil
+}
+
+// AnsWMultiFocus answers a multi-focus Why-question without an existing
+// session by delegating to a throwaway one.
+//
+// Deprecated: use Session.AskMultiFocus. The standalone path used to
+// rebuild the distance oracle once per focus and bypass the star-view
+// cache and helper budget entirely; routing through a session fixes
+// that, and callers with more than one question should hold the session
+// to keep its cache warm.
+func AnsWMultiFocus(g *graph.Graph, q *query.Query, foci []query.NodeID,
+	exemplars []*exemplar.Exemplar, cfg Config) ([]MultiFocusAnswer, error) {
+
+	return NewSession(g, cfg).AskMultiFocus(q, foci, exemplars)
 }
 
 type chaseError string

@@ -24,6 +24,7 @@ func (w *Why) AnsWE() Answer {
 	start := w.clock()
 	w.beginRun()
 	defer w.endRun(start)
+	deadline := w.deadline(start)
 
 	rootAns, _ := w.evaluate(w.Q, nil)
 	q := w.Q
@@ -131,6 +132,11 @@ func (w *Why) AnsWE() Answer {
 	sort.SliceStable(plans, func(i, j int) bool { return plans[i].cost < plans[j].cost })
 	for _, p := range plans {
 		if p.cost > w.Cfg.Budget {
+			break
+		}
+		// One verification evaluation per plan: this is the loop a
+		// cancelled or deadline-expired Why-Empty question must leave.
+		if w.stop(deadline) {
 			break
 		}
 		if len(p.ops) == 0 {

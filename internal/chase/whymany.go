@@ -16,6 +16,7 @@ func (w *Why) ApxWhyM() Answer {
 	start := w.clock()
 	w.beginRun()
 	defer w.endRun(start)
+	deadline := w.deadline(start)
 
 	rootAns, rootRes := w.evaluate(w.Q, nil)
 	if !hasIM(w, rootRes) {
@@ -123,6 +124,13 @@ func (w *Why) ApxWhyM() Answer {
 		remaining[i] = true
 	}
 	for {
+		// The greedy selection is pure bookkeeping over already-committed
+		// evaluations, but each round scans every seed; poll the cutoff
+		// so a cancelled or expired question returns its best-so-far
+		// cover instead of finishing the set-cover loop.
+		if w.stop(deadline) {
+			break
+		}
 		bestIdx, bestRatio := -1, 0.0
 		base := weight(coveredIM, coveredRM)
 		for i, s := range evaluated {

@@ -41,10 +41,11 @@ type Cache struct {
 	shards []cacheShard
 	mask   uint32
 
-	hits   atomic.Int64
-	misses atomic.Int64
-	ticks  atomic.Int64
-	size   atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	ticks     atomic.Int64
+	size      atomic.Int64
+	evictions atomic.Int64
 }
 
 // cacheShard is one stripe of the cache: an independent decaying map
@@ -327,6 +328,7 @@ func (s *cacheShard) putLocked(c *Cache, key string, t *StarTable) {
 		}
 		delete(s.entries, worstKey)
 		c.size.Add(-1)
+		c.evictions.Add(1)
 	}
 	s.entries[key] = &cacheEntry{table: t, hits: 1, lastTick: s.tick}
 	c.size.Add(1)
@@ -350,4 +352,33 @@ func (c *Cache) Stats() (hits, misses int64) {
 // lookups, and Put calls) across all shards.
 func (c *Cache) Ticks() int64 {
 	return c.ticks.Load()
+}
+
+// CacheCounters is the cache's full atomic counter set, snapshot
+// lock-free by Counters. Hits/Misses/Ticks/Evictions are cumulative;
+// Size is the current resident table count. The counters are
+// observability only — rewrite ranking never reads them — so exposing
+// them (e.g. through a server's /stats endpoint) cannot perturb
+// byte-identical output.
+type CacheCounters struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Ticks     int64 `json:"ticks"`
+	Size      int64 `json:"size"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Counters snapshots every cache counter without taking a shard lock.
+// The fields are loaded individually, so a snapshot taken under
+// concurrent traffic is per-counter exact but not a single atomic
+// cross-counter instant — fine for stats, meaningless to diff against
+// another snapshot taken mid-flight.
+func (c *Cache) Counters() CacheCounters {
+	return CacheCounters{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Ticks:     c.ticks.Load(),
+		Size:      c.size.Load(),
+		Evictions: c.evictions.Load(),
+	}
 }

@@ -1,0 +1,57 @@
+package par
+
+import "sync"
+
+// Group is the sanctioned primitive for the handful of *long-lived*
+// goroutines a resident process needs — an accept loop, a signal
+// watcher — that don't fit ForEach's fork-join shape. It keeps the
+// module's concurrency doctrine intact: every spawn still lives inside
+// internal/par (gobound), and lifetime stays structured — the owner
+// must call Wait before exiting, and Wait returns only after every
+// spawned function has returned.
+//
+// Group deliberately has no Stop: cancellation is the spawned code's
+// business (close a listener, signal a channel). A Group only
+// guarantees the join, plus ForEach's panic contract — a panic in a
+// spawned function is captured and re-raised on the goroutine that
+// calls Wait, first one wins, so a crashed server loop fails the
+// process instead of dying silently.
+//
+// The zero Group is ready to use. Go and Wait may not be called
+// concurrently with each other from multiple goroutines (the usual
+// owner pattern: one goroutine spawns, the same one waits).
+type Group struct {
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	panicV interface{} // first captured panic, guarded by mu
+}
+
+// Go runs fn on a new goroutine tracked by the group.
+func (g *Group) Go(fn func()) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.mu.Lock()
+				if g.panicV == nil {
+					g.panicV = r
+				}
+				g.mu.Unlock()
+			}
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every spawned function returned, then re-raises
+// the first captured panic, if any.
+func (g *Group) Wait() {
+	g.wg.Wait()
+	g.mu.Lock()
+	v := g.panicV
+	g.panicV = nil
+	g.mu.Unlock()
+	rethrow(v)
+}
