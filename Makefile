@@ -9,7 +9,7 @@ GO ?= go
 # stripes, singleflight, and eviction paths all live in internal/match.
 RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par ./internal/distindex ./cmd/wqe-serve
 
-.PHONY: all build vet fmt-check test race lint callgraph check-cfg check serve-smoke bench-parallel bench-batch bench-shard ci
+.PHONY: all build vet fmt-check test race lint callgraph lockorder check-cfg check-lockorder check serve-smoke bench-parallel bench-batch bench-shard ci
 
 all: build
 
@@ -40,10 +40,22 @@ lint:
 callgraph:
 	$(GO) run ./cmd/wqe-lint -callgraph
 
+# Dump the module's lock-acquisition-order graph (lock identities,
+# held-while-acquiring edges with witness chains, cycles) — the
+# substrate behind the lockorder deadlock analysis.
+lockorder:
+	$(GO) run ./cmd/wqe-lint -lockorder
+
 # The CFG/dataflow core under the flow-sensitive analyzers: golden
 # block-structure dumps and the double-build determinism contract.
 check-cfg:
 	$(GO) test ./internal/lint/cfg
+
+# End-to-end golden test of the -lockorder dump over the fixture module
+# (one genuine AB-BA cycle, one consistent-order pair), including the
+# double-run byte-identity contract.
+check-lockorder:
+	$(GO) test ./cmd/wqe-lint -run 'TestLockorder'
 
 # End-to-end exercise of the serving layer: wqe-serve boots on an
 # ephemeral port, answers every endpoint against the Fig 1 fixture,
@@ -54,7 +66,7 @@ serve-smoke:
 	$(GO) run ./cmd/wqe-serve -smoke
 
 # Everything a PR must pass, without the benchmark regeneration.
-check: build vet fmt-check test race lint serve-smoke
+check: build vet fmt-check test race lint check-lockorder serve-smoke
 
 # Regenerate BENCH_parallel.json: sequential vs parallel wall-clock of
 # the Q-Chase evaluation engine on the synthetic workload.

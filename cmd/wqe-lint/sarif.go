@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"wqe/internal/lint"
+)
+
+// SARIF 2.1.0 output, built with the stdlib JSON encoder only. The
+// structs cover exactly the subset code-scanning upload consumes: one
+// run, the analyzer roster as reporting rules, one result per finding
+// with a module-relative slash-separated URI. MarshalIndent over these
+// fixed-shape structs is deterministic, so the SARIF stream inherits
+// the byte-identity contract of the text formats.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSarif renders the findings as one SARIF run. Findings arrive in
+// the deterministic RunAll order and are emitted as-is; rules follow
+// the analyzer selection order.
+func writeSarif(w io.Writer, root string, analyzers []*lint.Analyzer, findings []lint.Finding) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.Pos.Filename
+		if r, err := filepath.Rel(root, uri); err == nil {
+			uri = r
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "wqe-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(&log, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}

@@ -1,0 +1,694 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"wqe/internal/lint/cfg"
+)
+
+// AtomicField returns the module-wide atomic-consistency analyzer.
+//
+// A struct field accessed through sync/atomic anywhere — a
+// `atomic.AddInt64(&x.f, 1)` call, or a method call on an
+// atomic.Int64-family typed field — must be accessed that way
+// everywhere: a plain read can tear against an atomic writer, and the
+// race detector only catches the schedules it happens to see. The
+// analyzer classifies every access to such fields module-wide and
+// flags the plain ones, with two exemptions argued from the CFG:
+//
+//   - publication safety: a plain access through a local the function
+//     itself allocated (`x := &T{}`, `var x T`, `new(T)`) is exempt
+//     while the local is provably unpublished — no path from the
+//     allocation has let the value escape (assigned away, passed to a
+//     call, address taken, captured by a closure). Before the first
+//     escape exactly one goroutine can reach the memory, so
+//     constructor-style plain initialization is safe. The analysis is
+//     a forward must-flow (escape on SOME path kills the exemption on
+//     every later access), and accesses inside closures are never
+//     exempt — the closure may run after publication.
+//   - mutex exemption: a field whose every access (plain AND atomic)
+//     runs under one common must-held lock identity is serialized by
+//     that lock; the atomic calls are then redundant rather than
+//     racy, which is not this analyzer's complaint.
+//
+// Fields with a sync/atomic type are additionally flagged on any
+// direct use (copy, assignment, comparison): the type declares the
+// atomic regime, and a copy bypasses the API entirely. Taking a
+// field's address outside a sync/atomic argument is deliberately out
+// of scope (tracked by neither regime).
+func AtomicField() *Analyzer {
+	facts := make(map[*Module][]Finding)
+	prepare := func(mod *Module) {
+		if _, ok := facts[mod]; !ok {
+			facts[mod] = runAtomicFieldModule(mod)
+		}
+	}
+	return &Analyzer{
+		Name:    "atomicfield",
+		Doc:     "a field accessed via sync/atomic anywhere must not mix in plain access",
+		Prepare: prepare,
+		Run: func(mod *Module, pkg *Package) []Finding {
+			prepare(mod)
+			return findingsIn(facts[mod], pkg)
+		},
+	}
+}
+
+// fieldAccess is one classified access to an atomic-regime field.
+type fieldAccess struct {
+	pos    token.Pos
+	atomic bool
+	// locks is the set of must-held lock identities at the access.
+	locks map[string]bool
+	// exempt marks a plain access proven publication-safe.
+	exempt bool
+}
+
+// fieldInfo accumulates a field's accesses module-wide.
+type fieldInfo struct {
+	obj   types.Object
+	typed bool // the field's type lives in sync/atomic
+	accs  []fieldAccess
+}
+
+func runAtomicFieldModule(mod *Module) []Finding {
+	cg := CallGraphOf(mod)
+	flows := lockFlowsOf(mod)
+	ids := lockIDsOf(mod)
+
+	// Field universe: every field with a sync/atomic type, plus every
+	// field whose address reaches a sync/atomic function call.
+	fields := map[types.Object]*fieldInfo{}
+	fieldFor := func(obj types.Object) *fieldInfo {
+		fi := fields[obj]
+		if fi == nil {
+			fi = &fieldInfo{obj: obj}
+			fields[obj] = fi
+		}
+		return fi
+	}
+	for obj := range lockIDsOf(mod).fieldOwner {
+		if isAtomicType(obj.Type()) {
+			fieldFor(obj).typed = true
+		}
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicFuncCall(pkg.Info, call) {
+					return true
+				}
+				if obj := atomicArgField(pkg.Info, call); obj != nil {
+					fieldFor(obj)
+				}
+				return true
+			})
+		}
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+
+	// Classify every access inside every function body. The call graph
+	// gives deterministic function order and the per-function lock
+	// flows; publication flows are built lazily per body.
+	for _, n := range cg.Nodes {
+		if n.Decl.Body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		fl := flows[n]
+		var pub *pubFlow
+		litSpans := funcLitSpans(n.Decl.Body)
+		parents := parentsIn(n.Decl)
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			fi := fields[selection.Obj()]
+			if fi == nil {
+				return true
+			}
+			kind := classifyAccess(info, parents, sel, fi.typed)
+			if kind == accNeutral {
+				return true
+			}
+			acc := fieldAccess{pos: sel.Sel.Pos(), atomic: kind == accAtomic}
+			if fl != nil {
+				acc.locks = map[string]bool{}
+				for _, hr := range fl.mustRefsAt(sel.Pos()) {
+					if id, ok := ids.identityOf(info, hr.x); ok {
+						acc.locks[id] = true
+					}
+				}
+			}
+			if !acc.atomic && !inSpans(litSpans, sel.Pos()) {
+				if pub == nil {
+					pub = newPubFlow(info, n.Decl.Body)
+				}
+				if root := rootIdent(sel.X); root != nil {
+					if obj := identObj(info, root); obj != nil && pub.unpublishedAt(obj, sel.Pos()) {
+						acc.exempt = true
+					}
+				}
+			}
+			fi.accs = append(fi.accs, acc)
+			return true
+		})
+	}
+
+	// Verdicts, in deterministic field order.
+	type namedField struct {
+		display string
+		fi      *fieldInfo
+	}
+	var ordered []namedField
+	for obj, fi := range fields {
+		ordered = append(ordered, namedField{display: ids.fieldDisplay(obj), fi: fi})
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].display != ordered[j].display {
+			return ordered[i].display < ordered[j].display
+		}
+		return ordered[i].fi.obj.Pos() < ordered[j].fi.obj.Pos()
+	})
+	var out []Finding
+	for _, nf := range ordered {
+		fi := nf.fi
+		// Order accesses by rendered position, not raw token.Pos: file
+		// base offsets depend on parse order, positions do not.
+		sort.Slice(fi.accs, func(i, j int) bool {
+			a, b := mod.Fset.Position(fi.accs[i].pos), mod.Fset.Position(fi.accs[j].pos)
+			if a.Filename != b.Filename {
+				return a.Filename < b.Filename
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Column < b.Column
+		})
+		var plains []fieldAccess
+		var firstAtomic token.Pos
+		hasAtomic := false
+		for _, a := range fi.accs {
+			if a.atomic {
+				if !hasAtomic {
+					hasAtomic = true
+					firstAtomic = a.pos
+				}
+			} else if !a.exempt {
+				plains = append(plains, a)
+			}
+		}
+		// A plain-typed field needs a witnessed atomic access to be in
+		// the atomic regime; an atomic-typed field is in it by
+		// declaration.
+		if len(plains) == 0 || (!fi.typed && !hasAtomic) {
+			continue
+		}
+		// Common-mutex exemption: one lock identity must-held at every
+		// access, atomic ones included.
+		common := map[string]bool(nil)
+		for i, a := range fi.accs {
+			if a.exempt {
+				continue
+			}
+			if i == 0 || common == nil {
+				common = map[string]bool{}
+				for id := range a.locks {
+					common[id] = true
+				}
+				continue
+			}
+			for id := range common {
+				if !a.locks[id] {
+					delete(common, id)
+				}
+			}
+		}
+		if len(common) > 0 {
+			continue
+		}
+		for _, a := range plains {
+			msg := ""
+			if fi.typed {
+				msg = fmt.Sprintf("field %s has an atomic type but is accessed directly here "+
+					"(a copy or assignment bypasses the atomic API); use its Load/Store/Add methods, "+
+					"or //lint:ignore atomicfield <reason>", nf.display)
+			} else {
+				msg = fmt.Sprintf("field %s mixes atomic and plain access: updated via sync/atomic "+
+					"(e.g. %s) but accessed directly here — a plain access can tear against atomic "+
+					"writers; use sync/atomic everywhere, guard every access with one mutex, "+
+					"or //lint:ignore atomicfield <reason>", nf.display, shortPos(mod.Fset, firstAtomic))
+			}
+			out = append(out, Finding{Pos: mod.Fset.Position(a.pos), Rule: "atomicfield", Msg: msg})
+		}
+	}
+	return out
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+type accessKind int
+
+const (
+	accPlain accessKind = iota
+	accAtomic
+	accNeutral
+)
+
+// classifyAccess decides what regime one field selector participates
+// in: an argument of a sync/atomic call or a receiver of an atomic
+// method is atomic; a bare address-take is neutral (out of scope);
+// everything else is plain.
+func classifyAccess(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr, typed bool) accessKind {
+	p := parents[sel]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		p = parents[pe]
+	}
+	switch pp := p.(type) {
+	case *ast.UnaryExpr:
+		if pp.Op != token.AND {
+			return accPlain
+		}
+		q := parents[pp]
+		for {
+			pe, ok := q.(*ast.ParenExpr)
+			if !ok {
+				break
+			}
+			q = parents[pe]
+		}
+		if call, ok := q.(*ast.CallExpr); ok && isAtomicFuncCall(info, call) {
+			return accAtomic
+		}
+		return accNeutral
+	case *ast.SelectorExpr:
+		// c.hits.Add(1): the field selector is the X of a method
+		// selector resolving into sync/atomic.
+		if typed && pp.X == sel {
+			if fn, ok := info.Uses[pp.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				return accAtomic
+			}
+		}
+	}
+	return accPlain
+}
+
+// isAtomicFuncCall reports a call to a sync/atomic package function
+// (atomic.AddInt64, atomic.StorePointer, ...).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// atomicArgField resolves the struct-field object whose address is the
+// first argument of a sync/atomic call, or nil.
+func atomicArgField(info *types.Info, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if selection, ok := info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+		return selection.Obj()
+	}
+	return nil
+}
+
+// isAtomicType reports whether t (or *t) is a type declared in
+// sync/atomic (atomic.Int64, atomic.Value, ...).
+func isAtomicType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// rootIdent unwraps a selector base chain (x.a.b, s.shards[i], (*p).f)
+// to its root identifier, or nil when the base is not rooted in a
+// plain variable (a call result, a map index of a call, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// funcLitSpans collects the source spans of every function literal
+// under body — accesses inside them never get the publication
+// exemption (the closure may run after the value escapes).
+func funcLitSpans(body *ast.BlockStmt) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			spans = append(spans, [2]token.Pos{lit.Body.Pos(), lit.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func inSpans(spans [][2]token.Pos, pos token.Pos) bool {
+	for _, s := range spans {
+		if pos >= s[0] && pos < s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// parentsIn records each node's syntactic parent under root (the same
+// helper shape callgraph uses, local to avoid exporting it there).
+func parentsIn(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// --- publication flow -------------------------------------------------
+
+// pubSet is the set of locals proven unpublished on every path.
+type pubSet map[types.Object]bool
+
+// pubFlow solves "which locally-allocated values have not escaped yet"
+// as a forward must-analysis over the body's CFG: an allocation gens
+// its variable, any escaping use (bare identifier outside a selector
+// base, address of the whole value, capture by a closure) kills it on
+// that path, and the intersection merge demands safety on every path.
+type pubFlow struct {
+	nodes []pubNodeFact
+}
+
+type pubNodeFact struct {
+	pos, end token.Pos
+	set      pubSet
+}
+
+func newPubFlow(info *types.Info, body *ast.BlockStmt) *pubFlow {
+	g := cfg.New(body)
+
+	// Universe: every local the body allocates freshly.
+	universe := pubSet{}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			for _, obj := range pubGens(info, n.Ast) {
+				universe[obj] = true
+			}
+		}
+	}
+	pf := &pubFlow{}
+	if len(universe) == 0 {
+		return pf
+	}
+	flow := cfg.Flow[pubSet]{
+		Entry: pubSet{},
+		Top:   universe,
+		Merge: func(a, b pubSet) pubSet {
+			out := pubSet{}
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Transfer: func(_ *cfg.Block, n cfg.Node, in pubSet) pubSet {
+			for _, obj := range pubGens(info, n.Ast) {
+				in[obj] = true
+			}
+			for _, obj := range pubKills(info, n.Ast, universe) {
+				delete(in, obj)
+			}
+			return in
+		},
+		Equal: func(a, b pubSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(s pubSet) pubSet {
+			out := make(pubSet, len(s))
+			for k := range s {
+				out[k] = true
+			}
+			return out
+		},
+	}
+	res := cfg.Forward(g, flow)
+	cfg.Replay(g, flow, res, func(_ *cfg.Block, n cfg.Node, before pubSet) {
+		if n.Defer {
+			return
+		}
+		pf.nodes = append(pf.nodes, pubNodeFact{
+			pos: n.Ast.Pos(),
+			end: n.Ast.End(),
+			set: flow.Clone(before),
+		})
+	})
+	return pf
+}
+
+// unpublishedAt reports whether obj is provably unpublished before the
+// innermost node containing pos.
+func (pf *pubFlow) unpublishedAt(obj types.Object, pos token.Pos) bool {
+	var best *pubNodeFact
+	for i := range pf.nodes {
+		nf := &pf.nodes[i]
+		if pos < nf.pos || pos >= nf.end {
+			continue
+		}
+		if best == nil || nf.end-nf.pos < best.end-best.pos {
+			best = nf
+		}
+	}
+	return best != nil && best.set[obj]
+}
+
+// pubGens returns the locals freshly allocated by one statement:
+// `x := &T{}`, `x := T{}`, `x := new(T)`, `var x T` (zero value).
+func pubGens(info *types.Info, stmt ast.Node) []types.Object {
+	var out []types.Object
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != len(s.Rhs) {
+			return nil
+		}
+		for i, rh := range s.Rhs {
+			if !isFreshAlloc(info, rh) {
+				continue
+			}
+			if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok {
+				if obj := identObj(info, id); obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				fresh := len(vs.Values) == 0 // var x T: zero value, unshared
+				if i < len(vs.Values) {
+					fresh = isFreshAlloc(info, vs.Values[i])
+				}
+				if !fresh {
+					continue
+				}
+				if obj := info.Defs[name]; obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isFreshAlloc reports an expression that produces memory no one else
+// can reference yet.
+func isFreshAlloc(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		_, lit := ast.Unparen(x.X).(*ast.CompositeLit)
+		return lit
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new"
+			}
+		}
+	}
+	return false
+}
+
+// pubKills returns the tracked locals one statement publishes. Any use
+// of a tracked identifier is an escape except: the base of a field
+// selector (`x.f`, `x.f = v` — reading or writing through the local
+// stays local), and the defining left-hand side of its own allocation.
+// Uses inside function literals always kill (capture is publication).
+func pubKills(info *types.Info, stmt ast.Node, universe pubSet) []types.Object {
+	genLhs := map[types.Object]bool{}
+	for _, obj := range pubGens(info, stmt) {
+		genLhs[obj] = true
+	}
+	var out []types.Object
+	parents := parentsIn(stmt)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := identObj(info, id)
+		if obj == nil || !universe[obj] {
+			return true
+		}
+		if escapesUse(info, parents, id) && !isDefSite(info, parents, id, genLhs[obj]) {
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// escapesUse decides whether one identifier occurrence lets the value
+// escape: everything except serving as the base of a selector whose
+// address is not taken for a non-atomic purpose.
+func escapesUse(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	p := parents[id]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		p = parents[pe]
+	}
+	sel, ok := p.(*ast.SelectorExpr)
+	if !ok || sel.X != id {
+		// Bare use: assignment source, call argument, return value,
+		// &x, map key, comparison — all publication or aliasing.
+		return true
+	}
+	// x.f...: safe unless &x.f flows into a non-atomic call (a pointer
+	// to the field escapes).
+	q := parents[sel]
+	for {
+		switch qq := q.(type) {
+		case *ast.ParenExpr:
+			q = parents[qq]
+			continue
+		case *ast.SelectorExpr:
+			if qq.X != sel {
+				return false
+			}
+			sel = qq
+			q = parents[qq]
+			continue
+		}
+		break
+	}
+	if un, ok := q.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		if call, ok := parents[un].(*ast.CallExpr); ok && isAtomicFuncCall(info, call) {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// isDefSite exempts the allocation's own left-hand identifier.
+func isDefSite(info *types.Info, parents map[ast.Node]ast.Node, id *ast.Ident, genHere bool) bool {
+	if !genHere {
+		return false
+	}
+	switch p := parents[id].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == id {
+				return true
+			}
+		}
+	case *ast.ValueSpec:
+		for _, name := range p.Names {
+			if name == id {
+				return true
+			}
+		}
+	}
+	return false
+}

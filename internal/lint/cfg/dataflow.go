@@ -39,7 +39,25 @@ type Result[F any] struct {
 // order (deterministic; index order approximates reverse post-order
 // closely enough that typical graphs converge in two or three sweeps).
 // Clients needing per-node facts replay Transfer from In[blk.Index]
-// over the block's nodes — the same computation the solver ran.
+// over the block's nodes — the same computation the solver ran; Replay
+// packages that loop.
+// Replay walks every block in index order re-running Transfer from the
+// solved entry fact, invoking visit with the fact as it stood BEFORE
+// each node's effect. This is the summary-export hook: analyses that
+// need per-node facts (lock sets at a callsite, publication state at a
+// field access) replay the fixpoint instead of storing a fact per node
+// during iteration. The fact passed to visit is live — clone it if it
+// must survive the callback.
+func Replay[F any](g *Graph, f Flow[F], res *Result[F], visit func(blk *Block, n Node, before F)) {
+	for _, blk := range g.Blocks {
+		cur := f.Clone(res.In[blk.Index])
+		for _, node := range blk.Nodes {
+			visit(blk, node, cur)
+			cur = f.Transfer(blk, node, cur)
+		}
+	}
+}
+
 func Forward[F any](g *Graph, f Flow[F]) *Result[F] {
 	n := len(g.Blocks)
 	res := &Result[F]{In: make([]F, n), Out: make([]F, n)}

@@ -23,16 +23,18 @@ import (
 // deliberately left alone.
 func DetSource() *Analyzer {
 	facts := make(map[*Module][]Finding)
+	prepare := func(mod *Module) {
+		if _, ok := facts[mod]; !ok {
+			facts[mod] = runDetSourceModule(mod)
+		}
+	}
 	return &Analyzer{
-		Name: "detsource",
-		Doc:  "nondeterminism sources must not be reachable from canonical-output packages",
+		Name:    "detsource",
+		Doc:     "nondeterminism sources must not be reachable from canonical-output packages",
+		Prepare: prepare,
 		Run: func(mod *Module, pkg *Package) []Finding {
-			all, ok := facts[mod]
-			if !ok {
-				all = runDetSourceModule(mod)
-				facts[mod] = all
-			}
-			return findingsIn(all, pkg)
+			prepare(mod)
+			return findingsIn(facts[mod], pkg)
 		},
 	}
 }

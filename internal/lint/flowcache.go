@@ -1,0 +1,29 @@
+package lint
+
+import "wqe/internal/lint/callgraph"
+
+// flowCache memoizes the per-function lock-set flows of a module,
+// shared by lockcheck, lockorder, and atomicfield — the flows are the
+// single most expensive artifact the lint pass computes, and all three
+// analyzers read the same ones. Populated from analyzer Prepare hooks
+// (single-threaded, before the parallel per-package fan-out), read-only
+// afterwards.
+var flowCache = map[*Module]map[*callgraph.Node]*lockFlow{}
+
+// lockFlowsOf returns (building once per module) the solved lock flow
+// of every function body in the module, keyed by call-graph node.
+func lockFlowsOf(mod *Module) map[*callgraph.Node]*lockFlow {
+	if fl, ok := flowCache[mod]; ok {
+		return fl
+	}
+	cg := CallGraphOf(mod)
+	fl := make(map[*callgraph.Node]*lockFlow, len(cg.Nodes))
+	for _, n := range cg.Nodes {
+		if n.Decl.Body == nil {
+			continue
+		}
+		fl[n] = newLockFlow(mod.Fset, n.Pkg.Info, n.Decl)
+	}
+	flowCache[mod] = fl
+	return fl
+}

@@ -1,12 +1,13 @@
 // Package lint implements wqe's repo-specific static-analysis suite
 // using only the standard library's go/parser, go/ast, and go/types.
 //
-// Ten analyzers enforce the invariants the paper's algorithms depend
-// on for reproducible output. The interprocedural ones (lockcheck,
-// detsource) share a module-wide static call graph built by
-// internal/lint/callgraph, and the flow-sensitive ones (lockcheck,
-// ctxflow, leakcheck) share the control-flow graphs and dataflow
-// solver of internal/lint/cfg:
+// Twelve analyzers enforce the invariants the paper's algorithms
+// depend on for reproducible output. The interprocedural ones
+// (lockcheck, lockorder, atomicfield, detsource) share a module-wide
+// static call graph built by internal/lint/callgraph, and the
+// flow-sensitive ones (lockcheck, lockorder, atomicfield, ctxflow,
+// leakcheck) share the control-flow graphs and dataflow solver of
+// internal/lint/cfg:
 //
 //   - mapiter: no raw `for range` over maps in canonical-output
 //     packages (query, ops, chase, exemplar) — Go randomizes map
@@ -19,8 +20,21 @@
 //     unlocks fire on exit edges); per-function summaries propagate
 //     along the call graph, so helpers that rely on the caller's lock
 //     are verified rather than name-trusted. Findings carry the
-//     witness call chain; locks leaked on some exit path and releases
-//     with no pairing acquisition are reported on every function.
+//     witness call chain; locks whose release is neither performed nor
+//     scheduled on some exit path, releases with no pairing
+//     acquisition, and re-acquisitions of a may-held lock are reported
+//     on every function.
+//   - lockorder: a module-wide lock-acquisition-order graph — nodes
+//     are lock identities (struct-field mutexes with stripe arrays
+//     summarized per field, package-level locks), an edge A→B means
+//     "B was acquired while A was held", propagated through the call
+//     graph with witness chains. Every cycle is a potential AB-BA
+//     deadlock and is reported with a two-sided witness.
+//   - atomicfield: a struct field accessed through sync/atomic (or
+//     typed atomic.Int64-family) anywhere must be accessed that way
+//     everywhere — plain reads tear against atomic writers. Plain
+//     access is exempt before publication (constructor bodies prior to
+//     first escape) and under a mutex held at every access.
 //   - detsource: nondeterminism sources (raw map range, time.Now,
 //     global math/rand, multi-way select) must not be reachable from
 //     canonical-output packages, along any call chain.
@@ -53,6 +67,8 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+
+	"wqe/internal/par"
 )
 
 // Finding is one analyzer report.
@@ -76,6 +92,12 @@ type Analyzer struct {
 	Doc  string
 	// Applies reports whether the analyzer runs on the package at all.
 	Applies func(pkg *Package) bool
+	// Prepare computes module-wide facts (call graph, lock flows,
+	// propagated summaries) before any Run call. RunAll invokes every
+	// Prepare sequentially, so the per-module caches are written
+	// single-threaded and are read-only by the time the per-package
+	// Run calls fan out across workers.
+	Prepare func(mod *Module)
 	Run     func(mod *Module, pkg *Package) []Finding
 }
 
@@ -84,6 +106,8 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapIter(),
 		LockCheck(),
+		LockOrderCheck(),
+		AtomicField(),
 		DetSource(),
 		ErrDrop(),
 		PanicFree(),
@@ -97,10 +121,28 @@ func Analyzers() []*Analyzer {
 
 // RunAll loads nothing itself: it applies every analyzer to every
 // package of an already-loaded module, filters suppressed findings, and
-// returns the remainder sorted by position.
+// returns the remainder sorted by position. Single-worker convenience
+// wrapper around RunAllWorkers.
 func RunAll(mod *Module, analyzers []*Analyzer) []Finding {
-	var out []Finding
-	for _, pkg := range mod.Pkgs {
+	return RunAllWorkers(mod, analyzers, 1)
+}
+
+// RunAllWorkers is RunAll with the per-package analyzer execution
+// spread over a bounded worker pool (workers < 1 means GOMAXPROCS).
+// Module-wide facts are computed up front by the Prepare hooks, then
+// packages are analyzed concurrently into indexed slots, so the merged
+// output is byte-identical for every worker count: the slot order is
+// the package order, and the final sort is by position, rule, and
+// message — nothing depends on scheduling.
+func RunAllWorkers(mod *Module, analyzers []*Analyzer, workers int) []Finding {
+	for _, a := range analyzers {
+		if a.Prepare != nil {
+			a.Prepare(mod)
+		}
+	}
+	slots := make([][]Finding, len(mod.Pkgs))
+	par.ForEach(par.Workers(workers), len(mod.Pkgs), func(i int) {
+		pkg := mod.Pkgs[i]
 		ig := ignoresOf(pkg)
 		for _, a := range analyzers {
 			if a.Applies != nil && !a.Applies(pkg) {
@@ -110,9 +152,13 @@ func RunAll(mod *Module, analyzers []*Analyzer) []Finding {
 				if ig.suppressed(f) {
 					continue
 				}
-				out = append(out, f)
+				slots[i] = append(slots[i], f)
 			}
 		}
+	})
+	var out []Finding
+	for _, s := range slots {
+		out = append(out, s...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"wqe/internal/par"
 )
 
 // Package is one type-checked module package: the unit analyzers run on.
@@ -69,12 +71,22 @@ func Load(root string) (*Module, error) {
 	}
 
 	// Parse every package first so the import graph is known before any
-	// type checking starts.
+	// type checking starts. Directories parse concurrently into indexed
+	// slots (token.FileSet is safe for concurrent AddFile); the merge
+	// walks the slots in the sorted directory order, so the package set
+	// and the first reported error are schedule-independent. File base
+	// offsets inside the FileSet DO vary with scheduling — nothing
+	// downstream may compare raw token.Pos values across files, only
+	// rendered Positions.
+	slots := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	par.ForEach(par.Workers(0), len(dirs), func(i int) {
+		slots[i], errs[i] = parseDir(fset, root, modPath, dirs[i])
+	})
 	parsed := make(map[string]*Package) // by import path
-	for _, dir := range dirs {
-		pkg, err := parseDir(fset, root, modPath, dir)
-		if err != nil {
-			return nil, err
+	for i, pkg := range slots {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		if pkg != nil {
 			parsed[pkg.PkgPath] = pkg

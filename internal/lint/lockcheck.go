@@ -54,16 +54,18 @@ var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
 // protocol dynamically.
 func LockCheck() *Analyzer {
 	facts := make(map[*Module][]Finding)
+	prepare := func(mod *Module) {
+		if _, ok := facts[mod]; !ok {
+			facts[mod] = runLockCheckModule(mod)
+		}
+	}
 	return &Analyzer{
-		Name: "lockcheck",
-		Doc:  "accesses to `guarded by` fields must hold the named mutex on every call path",
+		Name:    "lockcheck",
+		Doc:     "accesses to `guarded by` fields must hold the named mutex on every call path",
+		Prepare: prepare,
 		Run: func(mod *Module, pkg *Package) []Finding {
-			all, ok := facts[mod]
-			if !ok {
-				all = runLockCheckModule(mod)
-				facts[mod] = all
-			}
-			return findingsIn(all, pkg)
+			prepare(mod)
+			return findingsIn(facts[mod], pkg)
 		},
 	}
 }
@@ -154,21 +156,23 @@ type lockSummary struct {
 func runLockCheckModule(mod *Module) []Finding {
 	guarded := collectGuarded(mod)
 	cg := CallGraphOf(mod)
+	flows := lockFlowsOf(mod)
 	sums := make(map[*callgraph.Node]*lockSummary, len(cg.Nodes))
 
 	var findings []Finding
 
-	// Local pass: the flow-sensitive lock-set solution, its pairing
-	// findings (leak on some exit path, unpairable release — these run
-	// on every function, guarded fields or not), then the per-function
-	// accesses, acquisitions, and callsites.
+	// Local pass: the flow-sensitive lock-set solution (shared with
+	// lockorder and atomicfield via lockFlowsOf), its pairing findings
+	// (leak on some exit path, unpairable release, re-acquisition —
+	// these run on every function, guarded fields or not), then the
+	// per-function accesses, acquisitions, and callsites.
 	for _, n := range cg.Nodes {
 		s := newLockSummary(mod.Fset, n)
 		sums[n] = s
 		if n.Decl.Body == nil {
 			continue
 		}
-		s.flow = newLockFlow(mod.Fset, n.Pkg.Info, n.Decl)
+		s.flow = flows[n]
 		findings = append(findings, s.flow.flowFindings(mod.Fset)...)
 		if len(guarded) > 0 {
 			findings = append(findings, s.localPass(mod.Fset, n.Pkg.Info, guarded)...)

@@ -13,22 +13,31 @@ import (
 
 // This file is lockcheck v3's intra-function core: a flow-sensitive
 // lock-set analysis over the internal/lint/cfg graphs, replacing v2's
-// lexical "a Lock appears earlier in the body" scan. Two dataflow
+// lexical "a Lock appears earlier in the body" scan. Three dataflow
 // problems run per body:
 //
 //   - must-held (intersection meet): a lock in the set is held on
 //     EVERY path reaching the point — this is what discharges guarded
 //     accesses and callee requirements;
 //   - may-held (union meet): held on SOME path — this is what makes a
-//     re-acquisition a potential deadlock and a lock surviving to an
-//     exit a leak.
+//     re-acquisition a potential deadlock;
+//   - pending (union meet, registration-sensitive): an acquisition
+//     whose release has not yet been performed OR scheduled. A
+//     `defer mu.Unlock()` discharges the obligation at its
+//     REGISTRATION node — the point that is path-correlated with the
+//     acquisition — rather than at the exit-edge replays. Replaying at
+//     exit is wrong for a defer registered inside a loop body: the
+//     zero-iteration path reaches the exit without ever registering
+//     the unlock, yet the replay would kill it there and mask the
+//     leak. Exit-leak findings come from the pending set at exit.
 //
-// `defer mu.Unlock()` is modeled by the CFG itself: every exit edge
-// replays the deferred calls, so the kill lands exactly where the
-// runtime performs it. Function literals are analyzed as separate
-// bodies (a closure runs at another time); a query for a position
-// inside a literal consults the literal's own flow first and falls
-// back to the enclosing state where the literal was created.
+// For must/may, `defer mu.Unlock()` is still modeled by the CFG
+// itself: every exit edge replays the deferred calls, so the kill
+// lands exactly where the runtime performs it. Function literals are
+// analyzed as separate bodies (a closure runs at another time); a
+// query for a position inside a literal consults the literal's own
+// flow first and falls back to the enclosing state where the literal
+// was created.
 
 // lockSet is a set of held lock keys: the rendered lock expression
 // ("c.mu", "mu"), with read locks suffixed rlockSuffix.
@@ -45,11 +54,17 @@ func displayKey(key string) (expr string, read bool) {
 	return key, false
 }
 
-// lockOp is one acquire or release of a lock key at a position.
+// lockOp is one acquire or release of a lock key at a position. reg
+// marks a release scheduled by a defer registration: it discharges the
+// pending obligation at the registration point but has no immediate
+// effect on the held sets (the runtime release happens at exit, where
+// the CFG's defer replays model it).
 type lockOp struct {
 	key     string
+	x       ast.Expr // the lock expression (receiver of Lock/Unlock)
 	acquire bool
 	read    bool
+	reg     bool
 	pos     token.Pos
 }
 
@@ -89,31 +104,61 @@ func lockOpOf(fset *token.FileSet, info *types.Info, call *ast.CallExpr) (lockOp
 	if read {
 		key += rlockSuffix
 	}
-	return lockOp{key: key, acquire: acquire, read: read, pos: call.Pos()}, true
+	return lockOp{key: key, x: sel.X, acquire: acquire, read: read, pos: call.Pos()}, true
 }
 
 // lockOpsIn collects the lock operations of one CFG node in source
-// order. Defer registrations contribute nothing (their call's effect
-// lands on the defer.fire replays), and FuncLit interiors are opaque
-// (a closure body gets its own bodyFlow).
+// order. A defer registration contributes its releases as reg ops (the
+// pending analysis kills there); the held-set effect of the deferred
+// call lands on the defer.fire replays. Reg extraction looks inside
+// deferred function literals too — `defer func() { mu.Unlock() }()`
+// schedules the release just as surely as the direct form. Elsewhere
+// FuncLit interiors are opaque (a closure body gets its own bodyFlow).
 func lockOpsIn(fset *token.FileSet, info *types.Info, n cfg.Node) []lockOp {
-	if _, isReg := n.Ast.(*ast.DeferStmt); isReg && !n.Defer {
-		return nil
+	if d, isReg := n.Ast.(*ast.DeferStmt); isReg && !n.Defer {
+		var regs []lockOp
+		ast.Inspect(d.Call, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, ok := lockOpOf(fset, info, call); ok && !op.acquire {
+				op.reg = true
+				regs = append(regs, op)
+			}
+			return true
+		})
+		return regs
+	}
+	// A range.head node carries the whole *ast.RangeStmt; only the
+	// range operands run there — the body belongs to the body blocks'
+	// own nodes, so inspecting it here would double-apply every lock op
+	// in the loop (and kill held sets before the loop even runs).
+	roots := []ast.Node{n.Ast}
+	if r, isRange := n.Ast.(*ast.RangeStmt); isRange && !n.Defer {
+		roots = roots[:0]
+		for _, e := range []ast.Expr{r.Key, r.Value, r.X} {
+			if e != nil {
+				roots = append(roots, e)
+			}
+		}
 	}
 	var ops []lockOp
-	ast.Inspect(n.Ast, func(x ast.Node) bool {
-		if _, ok := x.(*ast.FuncLit); ok {
-			return false
-		}
-		call, ok := x.(*ast.CallExpr)
-		if !ok {
+	for _, root := range roots {
+		ast.Inspect(root, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, ok := lockOpOf(fset, info, call); ok {
+				ops = append(ops, op)
+			}
 			return true
-		}
-		if op, ok := lockOpOf(fset, info, call); ok {
-			ops = append(ops, op)
-		}
-		return true
-	})
+		})
+	}
 	return ops
 }
 
@@ -124,18 +169,41 @@ type nodeFacts struct {
 	must, may lockSet
 }
 
+// lockRef is a held lock at a point: its key plus the source
+// expression that named it (for module-wide identity resolution).
+type lockRef struct {
+	key string
+	x   ast.Expr
+}
+
+// acqEvent is one lock acquisition with the may-held set observed
+// immediately before it — the raw material of the acquisition-order
+// graph. held is strictly this body's state: a closure's events do not
+// inherit the creator's held set (the closure runs at another time,
+// when the creator's locks may be long gone).
+type acqEvent struct {
+	key  string
+	x    ast.Expr
+	read bool
+	pos  token.Pos
+	held []lockRef
+}
+
 // bodyFlow is the solved lock state of one body: the facts before
-// every node, the may-held set at exit (after defer replays), the
-// first-acquisition position per key, the releases that no path can
-// pair with an acquisition, and the flows of the body's direct
-// function literals.
+// every node, the pending set at exit, the first-acquisition position
+// per key, the releases that no path can pair with an acquisition, the
+// re-acquisitions of a may-held key, the acquisition events, and the
+// flows of the body's direct function literals.
 type bodyFlow struct {
-	graph   *cfg.Graph
-	nodes   []nodeFacts
-	exitMay lockSet
-	gen     map[string]token.Pos
-	orphans []lockOp
-	lits    []*litFlow
+	graph       *cfg.Graph
+	nodes       []nodeFacts
+	exitPending lockSet
+	gen         map[string]token.Pos
+	exprs       map[string]ast.Expr
+	orphans     []lockOp
+	reacq       []lockOp
+	events      []acqEvent
+	lits        []*litFlow
 }
 
 type litFlow struct {
@@ -164,15 +232,19 @@ func lockSetsEqual(a, b lockSet) bool {
 }
 
 func newBodyFlow(fset *token.FileSet, info *types.Info, body *ast.BlockStmt) *bodyFlow {
-	bf := &bodyFlow{graph: cfg.New(body), gen: map[string]token.Pos{}}
+	bf := &bodyFlow{graph: cfg.New(body), gen: map[string]token.Pos{}, exprs: map[string]ast.Expr{}}
 	g := bf.graph
 
-	// Universe of keys (the must-analysis Top) and first-gen positions.
+	// Universe of keys (the must-analysis Top), first-gen positions,
+	// and a representative source expression per key.
 	universe := lockSet{}
 	for _, blk := range g.Blocks {
 		for _, n := range blk.Nodes {
 			for _, op := range lockOpsIn(fset, info, n) {
 				universe[op.key] = true
+				if _, seen := bf.exprs[op.key]; !seen && op.x != nil {
+					bf.exprs[op.key] = op.x
+				}
 				if op.acquire && !n.Defer {
 					if p, ok := bf.gen[op.key]; !ok || op.pos < p {
 						bf.gen[op.key] = op.pos
@@ -189,22 +261,34 @@ func newBodyFlow(fset *token.FileSet, info *types.Info, body *ast.BlockStmt) *bo
 			delete(set, op.key)
 		}
 	}
-	flow := func(top lockSet, merge func(a, b lockSet) lockSet) *cfg.Result[lockSet] {
-		return cfg.Forward(g, cfg.Flow[lockSet]{
+	// pending distinguishes the flow: held sets ignore reg ops and let
+	// the defer.fire replays perform the release; the pending set kills
+	// at the registration and ignores the replays.
+	mkFlow := func(top lockSet, pending bool, merge func(a, b lockSet) lockSet) cfg.Flow[lockSet] {
+		return cfg.Flow[lockSet]{
 			Entry: lockSet{},
 			Top:   top,
 			Merge: merge,
 			Transfer: func(_ *cfg.Block, n cfg.Node, in lockSet) lockSet {
 				for _, op := range lockOpsIn(fset, info, n) {
-					apply(in, op)
+					switch {
+					case pending && n.Defer:
+						// exit-edge replay: not a discharge
+					case pending && op.reg:
+						delete(in, op.key)
+					case op.reg:
+						// registration has no immediate held effect
+					default:
+						apply(in, op)
+					}
 				}
 				return in
 			},
 			Equal: lockSetsEqual,
 			Clone: cloneLockSet,
-		})
+		}
 	}
-	must := flow(universe, func(a, b lockSet) lockSet {
+	interMerge := func(a, b lockSet) lockSet {
 		out := lockSet{}
 		for k := range a {
 			if b[k] {
@@ -212,54 +296,123 @@ func newBodyFlow(fset *token.FileSet, info *types.Info, body *ast.BlockStmt) *bo
 			}
 		}
 		return out
-	})
-	may := flow(lockSet{}, func(a, b lockSet) lockSet {
+	}
+	unionMerge := func(a, b lockSet) lockSet {
 		for k := range b {
 			a[k] = true
 		}
 		return a
-	})
-	bf.exitMay = may.In[g.Exit.Index]
+	}
+	mustFlow := mkFlow(universe, false, interMerge)
+	mayFlow := mkFlow(lockSet{}, false, unionMerge)
+	pendFlow := mkFlow(lockSet{}, true, unionMerge)
+	must := cfg.Forward(g, mustFlow)
+	may := cfg.Forward(g, mayFlow)
+	pend := cfg.Forward(g, pendFlow)
+	bf.exitPending = pend.In[g.Exit.Index]
 
-	// Replay every block for per-node facts and release pairing. A
+	// Replay the must solution for the per-node facts...
+	cfg.Replay(g, mustFlow, must, func(_ *cfg.Block, n cfg.Node, before lockSet) {
+		if !n.Defer {
+			bf.nodes = append(bf.nodes, nodeFacts{
+				pos:  n.Ast.Pos(),
+				end:  n.Ast.End(),
+				must: cloneLockSet(before),
+			})
+		}
+	})
+	// ...and the may solution for the rest: the may half of each node
+	// fact, release pairing, re-acquisitions, and acquisition events. A
 	// release with its key absent from the may-held state — and a
 	// matching acquisition somewhere in the body, so helpers releasing
-	// a caller-held lock stay exempt — cannot pair with any Lock on
-	// any path: a double release or a missing Lock. Defer replays can
-	// duplicate one op across exit edges; report each position once.
+	// a caller-held lock stay exempt — cannot pair with any Lock on any
+	// path: a double release or a missing Lock. An acquisition with its
+	// key possibly still held is a self-deadlock in the making. Defer
+	// replays can duplicate one op across exit edges; report each
+	// position once.
+	idx := 0
 	seenOrphan := map[string]bool{}
-	for _, blk := range g.Blocks {
-		mf := cloneLockSet(must.In[blk.Index])
-		yf := cloneLockSet(may.In[blk.Index])
-		for _, n := range blk.Nodes {
-			if !n.Defer {
-				bf.nodes = append(bf.nodes, nodeFacts{
-					pos:  n.Ast.Pos(),
-					end:  n.Ast.End(),
-					must: cloneLockSet(mf),
-					may:  cloneLockSet(yf),
-				})
+	seenReacq := map[string]bool{}
+	// A deferred release is replayed on EVERY exit edge, including ones
+	// from paths that never executed its registration (the defer stack
+	// is syntactic). Such a replay finding its key unheld is not a
+	// pairing bug — the registration path is the one that matters — so
+	// replay orphans are judged across all replay sites: reported only
+	// when no site can pair the release with a possible acquisition.
+	deferOrphan := map[string]lockOp{}
+	deferPaired := map[string]bool{}
+	cfg.Replay(g, mayFlow, may, func(_ *cfg.Block, n cfg.Node, before lockSet) {
+		if !n.Defer {
+			bf.nodes[idx].may = cloneLockSet(before)
+			idx++
+		}
+		wf := cloneLockSet(before)
+		for _, op := range lockOpsIn(fset, info, n) {
+			if op.reg {
+				continue
 			}
-			for _, op := range lockOpsIn(fset, info, n) {
-				if !op.acquire && !yf[op.key] {
-					if _, paired := bf.gen[op.key]; paired {
+			if !op.acquire && n.Defer {
+				if _, paired := bf.gen[op.key]; paired {
+					id := fmt.Sprintf("%s@%d", op.key, op.pos)
+					deferOrphan[id] = op
+					deferPaired[id] = deferPaired[id] || wf[op.key]
+				}
+			}
+			if !op.acquire && !n.Defer && !wf[op.key] {
+				if _, paired := bf.gen[op.key]; paired {
+					id := fmt.Sprintf("%s@%d", op.key, op.pos)
+					if !seenOrphan[id] {
+						seenOrphan[id] = true
+						bf.orphans = append(bf.orphans, op)
+					}
+				}
+			}
+			if op.acquire && !n.Defer {
+				bf.events = append(bf.events, acqEvent{
+					key:  op.key,
+					x:    op.x,
+					read: op.read,
+					pos:  op.pos,
+					held: bf.refsOf(wf),
+				})
+				// Indexed bases (s.shards[i].mu) name a different
+				// instance each iteration: re-acquisition across
+				// iterations is the point of striping, not a deadlock.
+				base, opRead := displayKey(op.key)
+				if !strings.Contains(base, "[") {
+					wHeld, rHeld := wf[base], wf[base+rlockSuffix]
+					if (!opRead && (wHeld || rHeld)) || (opRead && wHeld) {
 						id := fmt.Sprintf("%s@%d", op.key, op.pos)
-						if !seenOrphan[id] {
-							seenOrphan[id] = true
-							bf.orphans = append(bf.orphans, op)
+						if !seenReacq[id] {
+							seenReacq[id] = true
+							bf.reacq = append(bf.reacq, op)
 						}
 					}
 				}
-				apply(mf, op)
-				apply(yf, op)
 			}
+			apply(wf, op)
+		}
+	})
+	for id, op := range deferOrphan {
+		if !deferPaired[id] {
+			bf.orphans = append(bf.orphans, op)
 		}
 	}
-	sort.Slice(bf.orphans, func(i, j int) bool {
-		if bf.orphans[i].pos != bf.orphans[j].pos {
-			return bf.orphans[i].pos < bf.orphans[j].pos
+	sortOps := func(ops []lockOp) {
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].pos != ops[j].pos {
+				return ops[i].pos < ops[j].pos
+			}
+			return ops[i].key < ops[j].key
+		})
+	}
+	sortOps(bf.orphans)
+	sortOps(bf.reacq)
+	sort.Slice(bf.events, func(i, j int) bool {
+		if bf.events[i].pos != bf.events[j].pos {
+			return bf.events[i].pos < bf.events[j].pos
 		}
-		return bf.orphans[i].key < bf.orphans[j].key
+		return bf.events[i].key < bf.events[j].key
 	})
 
 	// Direct function literals get their own flows; nested literals
@@ -274,6 +427,19 @@ func newBodyFlow(fset *token.FileSet, info *types.Info, body *ast.BlockStmt) *bo
 		})
 	}
 	return bf
+}
+
+// refsOf renders a held set as sorted lockRefs using the body's
+// representative expressions.
+func (bf *bodyFlow) refsOf(set lockSet) []lockRef {
+	if len(set) == 0 {
+		return nil
+	}
+	refs := make([]lockRef, 0, len(set))
+	for _, key := range sortedKeys(set) {
+		refs = append(refs, lockRef{key: key, x: bf.exprs[key]})
+	}
+	return refs
 }
 
 // factAt returns the facts before the innermost node containing pos,
@@ -327,13 +493,67 @@ func (bf *bodyFlow) anyHeld(pos token.Pos) bool {
 	return nf != nil && len(nf.may) > 0
 }
 
-// pairFindings emits the two pairing findings of this body and its
-// literals: a lock still held on some path at exit (after the defer
-// replays ran, so it is a real leak on that path), and a release no
-// path can pair with an acquisition.
+// mayRefs returns the may-held locks before the innermost node
+// containing pos, strictly within the owning body: positions inside a
+// literal consult only the literal's own flow (a closure's runtime
+// held set owes nothing to its creator's). Feeds the lock-order graph.
+func (bf *bodyFlow) mayRefs(pos token.Pos) []lockRef {
+	for _, lf := range bf.lits {
+		if pos >= lf.lit.Body.Pos() && pos < lf.lit.Body.End() {
+			return lf.flow.mayRefs(pos)
+		}
+	}
+	nf := bf.factAt(pos)
+	if nf == nil {
+		return nil
+	}
+	return bf.refsOf(nf.may)
+}
+
+// mustRefs returns the must-held locks before the innermost node
+// containing pos, with the same creator fallback as held: a position
+// inside a literal unions the literal's own state with the creator's
+// state at the literal. Feeds atomicfield's guarded-by-mutex argument.
+func (bf *bodyFlow) mustRefs(pos token.Pos) []lockRef {
+	for _, lf := range bf.lits {
+		if pos >= lf.lit.Body.Pos() && pos < lf.lit.Body.End() {
+			refs := lf.flow.mustRefs(pos)
+			refs = append(refs, bf.mustRefs(lf.lit.Pos())...)
+			return refs
+		}
+	}
+	nf := bf.factAt(pos)
+	if nf == nil {
+		return nil
+	}
+	return bf.refsOf(nf.must)
+}
+
+// allEvents flattens the acquisition events of this body and its
+// literals, source order.
+func (bf *bodyFlow) allEvents() []acqEvent {
+	out := append([]acqEvent(nil), bf.events...)
+	for _, lf := range bf.lits {
+		out = append(out, lf.flow.allEvents()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}
+
+// pairFindings emits the pairing findings of this body and its
+// literals: a lock whose release is neither performed nor scheduled on
+// some path reaching the exit (pending-set leak — a defer registered
+// inside a loop body does not cover the zero-iteration path), a
+// release no path can pair with an acquisition, and a re-acquisition
+// of a lock that may already be held.
 func (bf *bodyFlow) pairFindings(fset *token.FileSet) []Finding {
 	var out []Finding
-	for _, key := range sortedKeys(bf.exitMay) {
+	for _, key := range sortedKeys(bf.exitPending) {
 		genPos, ok := bf.gen[key]
 		if !ok {
 			continue
@@ -365,14 +585,29 @@ func (bf *bodyFlow) pairFindings(fset *token.FileSet) []Finding {
 				expr, unlockName, expr, lockName),
 		})
 	}
+	for _, op := range bf.reacq {
+		expr, read := displayKey(op.key)
+		lockName := "Lock"
+		if read {
+			lockName = "RLock"
+		}
+		out = append(out, Finding{
+			Pos:  fset.Position(op.pos),
+			Rule: "lockcheck",
+			Msg: fmt.Sprintf("%s.%s() may run with %s already held on a path reaching here "+
+				"(deferred unlocks run at function exit, not per loop iteration) — potential self-deadlock; "+
+				"release before re-acquiring, or //lint:ignore lockcheck <reason>",
+				expr, lockName, expr),
+		})
+	}
 	for _, lf := range bf.lits {
 		out = append(out, lf.flow.pairFindings(fset)...)
 	}
 	return out
 }
 
-// lockFlow is the per-function façade the interprocedural pass
-// queries: one bodyFlow for the declaration body plus the recursive
+// lockFlow is the per-function façade the interprocedural passes
+// query: one bodyFlow for the declaration body plus the recursive
 // literal flows hanging off it.
 type lockFlow struct {
 	root *bodyFlow
@@ -400,6 +635,24 @@ func (lf *lockFlow) mayHeldAt(base, mu string, pos token.Pos) bool {
 // dead-Locked-annotation check).
 func (lf *lockFlow) anyHeldAt(pos token.Pos) bool {
 	return lf.root.anyHeld(pos)
+}
+
+// eventsAll returns every acquisition event of the function, literals
+// included.
+func (lf *lockFlow) eventsAll() []acqEvent {
+	return lf.root.allEvents()
+}
+
+// mayRefsAt returns the may-held locks before pos (strict, no creator
+// fallback — see bodyFlow.mayRefs).
+func (lf *lockFlow) mayRefsAt(pos token.Pos) []lockRef {
+	return lf.root.mayRefs(pos)
+}
+
+// mustRefsAt returns the must-held locks before pos (with creator
+// fallback for literals — see bodyFlow.mustRefs).
+func (lf *lockFlow) mustRefsAt(pos token.Pos) []lockRef {
+	return lf.root.mustRefs(pos)
 }
 
 // flowFindings returns the pairing findings of the whole function.

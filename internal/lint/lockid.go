@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// Lock identity resolution: the module-wide name of the lock a source
+// expression denotes, shared by lockorder and atomicfield.
+//
+// The identity deliberately abstracts instances to declarations:
+//
+//   - a struct-field mutex resolves to "pkg.Type.field", so every
+//     instance of the type — and every element of a stripe array
+//     (`s.shards[i].mu` selects the same field object for every i) —
+//     summarizes to a single graph node;
+//   - a package-level lock resolves to "pkg.var";
+//   - a bare identifier whose type is a module struct (promoted Lock
+//     through an embedded mutex) resolves to "pkg.Type";
+//   - a function-local or parameter mutex resolves to its declaration
+//     position ("file.go:12.mu") — distinct declarations stay
+//     distinct, and a lock the resolver cannot name at all is dropped
+//     rather than guessed.
+//
+// Summarizing a stripe array to one identity means same-identity
+// nesting (shard i locked while shard j is held) cannot be told apart
+// from true self-deadlock, so the order graph excludes self-edges;
+// lockflow's re-acquisition check covers the single-instance case and
+// itself skips indexed bases for the same reason.
+
+type lockIDs struct {
+	mod *Module
+	// fieldOwner maps every struct-field object declared at a package
+	// scope to its "pkg.Type.field" display.
+	fieldOwner map[types.Object]string
+	pkgOf      map[*types.Package]*Package
+}
+
+var idsCache = map[*Module]*lockIDs{}
+
+// lockIDsOf builds (once per module) the identity resolver.
+func lockIDsOf(mod *Module) *lockIDs {
+	if ids, ok := idsCache[mod]; ok {
+		return ids
+	}
+	ids := &lockIDs{
+		mod:        mod,
+		fieldOwner: map[types.Object]string{},
+		pkgOf:      map[*types.Package]*Package{},
+	}
+	for _, pkg := range mod.Pkgs {
+		ids.pkgOf[pkg.Types] = pkg
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names is sorted: first-wins is deterministic
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			prefix := displayPath(mod, pkg) + "." + tn.Name()
+			for i := 0; i < st.NumFields(); i++ {
+				fld := st.Field(i)
+				if _, taken := ids.fieldOwner[fld]; !taken {
+					ids.fieldOwner[fld] = prefix + "." + fld.Name()
+				}
+			}
+		}
+	}
+	idsCache[mod] = ids
+	return ids
+}
+
+// fieldDisplay names a struct-field object, falling back to its
+// declaration position for fields of unnamed or function-local struct
+// types.
+func (ids *lockIDs) fieldDisplay(obj types.Object) string {
+	if d, ok := ids.fieldOwner[obj]; ok {
+		return d
+	}
+	return ids.posDisplay(obj)
+}
+
+func (ids *lockIDs) posDisplay(obj types.Object) string {
+	pos := ids.mod.Fset.Position(obj.Pos())
+	return fmt.Sprintf("%s:%d.%s", filepath.Base(pos.Filename), pos.Line, obj.Name())
+}
+
+// pkgDisplay renders the module-relative display of a types package,
+// or its bare name for packages outside the module.
+func (ids *lockIDs) pkgDisplay(p *types.Package) string {
+	if lp, ok := ids.pkgOf[p]; ok {
+		return displayPath(ids.mod, lp)
+	}
+	if p != nil {
+		return p.Name()
+	}
+	return "?"
+}
+
+// identityOf resolves a lock expression (the receiver of a
+// Lock/Unlock call, as recorded by lockflow) to its module-wide
+// identity. ok is false when no declaration-level name exists — the
+// callers skip such locks rather than fabricate edges.
+func (ids *lockIDs) identityOf(info *types.Info, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if st, isStar := e.(*ast.StarExpr); isStar {
+		e = ast.Unparen(st.X)
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return ids.fieldDisplay(sel.Obj()), true
+		}
+		// Package-qualified variable: otherpkg.Mu.
+		if obj, ok := info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Parent() == obj.Pkg().Scope() {
+			return ids.pkgDisplay(obj.Pkg()) + "." + obj.Name(), true
+		}
+	case *ast.IndexExpr:
+		// mus[i].Lock() over a bare mutex slice: summarize all elements
+		// to the slice's own identity.
+		if id, ok := ids.identityOf(info, x.X); ok {
+			return id + "[*]", true
+		}
+	case *ast.Ident:
+		obj, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			if obj, ok = info.Defs[x].(*types.Var); !ok {
+				return "", false
+			}
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return ids.pkgDisplay(obj.Pkg()) + "." + obj.Name(), true
+		}
+		// A bare local/param: either the lock IS the variable (a
+		// sync.Mutex value) or the variable embeds one (promoted
+		// c.Lock()). An embedded mutex is identified by the named
+		// struct type — all instances summarized, like fields.
+		t := obj.Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct && named.Obj().Pkg() != nil {
+				if _, inModule := ids.pkgOf[named.Obj().Pkg()]; inModule {
+					return ids.pkgDisplay(named.Obj().Pkg()) + "." + named.Obj().Name(), true
+				}
+			}
+		}
+		return ids.posDisplay(obj), true
+	}
+	return "", false
+}

@@ -1,0 +1,431 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wqe/internal/lint/callgraph"
+)
+
+// LockOrderCheck returns the module-wide lock-acquisition-order
+// analyzer.
+//
+// It consumes lockcheck v3's per-function flow solutions (every
+// acquisition event carries the may-held set observed immediately
+// before it) plus the static call graph, and builds a directed graph
+// over lock identities (see lockid.go): an edge A→B means some
+// function acquires B — directly, or transitively through a static
+// callee — while holding A on some path. Acquire summaries propagate
+// callees-first over the SCC condensation, exactly like lockcheck's
+// requirement propagation, and every edge keeps the first witness
+// chain that created it.
+//
+// A cycle in this graph is a potential AB-BA deadlock: thread 1 runs
+// the A→B witness, thread 2 the B→A witness, and each waits on the
+// lock the other holds. Tarjan's SCCs find every cycle; mutual pairs
+// inside a component are reported with both witnesses, longer
+// rotations with the full cycle. Self-edges are excluded: identities
+// summarize all instances of a declaration (a stripe array is one
+// node), so same-identity nesting is indistinguishable from the
+// intended shard-i-then-shard-j pattern — lockflow's re-acquisition
+// check covers the genuine single-instance case.
+//
+// Closure acquisitions are attributed to the declaring function (the
+// call graph has no literal nodes) but with the closure's own held
+// state only — a `defer func() { mu.Unlock() }()` cleanup does not
+// inherit the creator's held set, which would fabricate edges for
+// locks long released when the closure actually runs.
+func LockOrderCheck() *Analyzer {
+	facts := make(map[*Module][]Finding)
+	prepare := func(mod *Module) {
+		if _, ok := facts[mod]; !ok {
+			facts[mod] = LockOrderOf(mod).findings()
+		}
+	}
+	return &Analyzer{
+		Name:    "lockorder",
+		Doc:     "lock acquisition order must be consistent module-wide (no AB-BA cycles)",
+		Prepare: prepare,
+		Run: func(mod *Module, pkg *Package) []Finding {
+			prepare(mod)
+			return findingsIn(facts[mod], pkg)
+		},
+	}
+}
+
+// orderWitness is the provenance of one order edge: the call chain
+// (node IDs, holder first) through which the acquisition happened, and
+// the position in the outermost function (the direct acquisition, or
+// the callsite that leads to it).
+type orderWitness struct {
+	chain []string
+	pos   token.Pos
+}
+
+// LockOrder is the module's lock-acquisition-order graph.
+type LockOrder struct {
+	fset *token.FileSet
+	// locks is every resolved lock identity acquired anywhere in the
+	// module, sorted; edges[from][to] keeps the first witness.
+	locks []string
+	edges map[string]map[string]*orderWitness
+}
+
+var orderCache = map[*Module]*LockOrder{}
+
+// LockOrderOf builds (once per module) the acquisition-order graph.
+func LockOrderOf(mod *Module) *LockOrder {
+	if lo, ok := orderCache[mod]; ok {
+		return lo
+	}
+	lo := buildLockOrder(mod)
+	orderCache[mod] = lo
+	return lo
+}
+
+func buildLockOrder(mod *Module) *LockOrder {
+	cg := CallGraphOf(mod)
+	flows := lockFlowsOf(mod)
+	ids := lockIDsOf(mod)
+	lo := &LockOrder{fset: mod.Fset, edges: map[string]map[string]*orderWitness{}}
+
+	// Per-function acquire summaries: identity → first witness chain
+	// rooted at this function. Seeded from the direct events, then
+	// closed transitively callees-first.
+	type acqSum struct {
+		chain []string
+		pos   token.Pos
+	}
+	sums := make(map[*callgraph.Node]map[string]acqSum, len(cg.Nodes))
+	lockSeen := map[string]bool{}
+	for _, n := range cg.Nodes {
+		sums[n] = map[string]acqSum{}
+		fl := flows[n]
+		if fl == nil {
+			continue
+		}
+		for _, ev := range fl.eventsAll() {
+			id, ok := ids.identityOf(n.Pkg.Info, ev.x)
+			if !ok {
+				continue
+			}
+			if !lockSeen[id] {
+				lockSeen[id] = true
+				lo.locks = append(lo.locks, id)
+			}
+			if _, have := sums[n][id]; !have {
+				sums[n][id] = acqSum{chain: []string{n.ID}, pos: ev.pos}
+			}
+		}
+	}
+	sort.Strings(lo.locks)
+	for _, comp := range cg.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				for _, e := range n.Out {
+					if e.Kind != callgraph.Static {
+						continue
+					}
+					for _, id := range sortedKeys(sums[e.Callee]) {
+						if _, have := sums[n][id]; have {
+							continue
+						}
+						ca := sums[e.Callee][id]
+						sums[n][id] = acqSum{
+							chain: append([]string{n.ID}, ca.chain...),
+							pos:   e.Pos,
+						}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	addEdge := func(from, to string, w orderWitness) {
+		if from == to {
+			return
+		}
+		m := lo.edges[from]
+		if m == nil {
+			m = map[string]*orderWitness{}
+			lo.edges[from] = m
+		}
+		if m[to] == nil {
+			m[to] = &orderWitness{chain: w.chain, pos: w.pos}
+		}
+	}
+	// Edge emission, deterministic: nodes in ID order; within a
+	// function, direct events then callsites, each in position order.
+	// First witness wins.
+	for _, n := range cg.Nodes {
+		fl := flows[n]
+		if fl == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		for _, ev := range fl.eventsAll() {
+			to, ok := ids.identityOf(info, ev.x)
+			if !ok {
+				continue
+			}
+			for _, hr := range ev.held {
+				from, ok := ids.identityOf(info, hr.x)
+				if !ok {
+					continue
+				}
+				addEdge(from, to, orderWitness{chain: []string{n.ID}, pos: ev.pos})
+			}
+		}
+		for _, e := range n.Out {
+			if e.Kind != callgraph.Static {
+				continue
+			}
+			held := fl.mayRefsAt(e.Pos)
+			if len(held) == 0 {
+				continue
+			}
+			for _, to := range sortedKeys(sums[e.Callee]) {
+				ca := sums[e.Callee][to]
+				for _, hr := range held {
+					from, ok := ids.identityOf(info, hr.x)
+					if !ok {
+						continue
+					}
+					addEdge(from, to, orderWitness{
+						chain: append([]string{n.ID}, ca.chain...),
+						pos:   e.Pos,
+					})
+				}
+			}
+		}
+	}
+	return lo
+}
+
+// succs returns the sorted out-neighbors of a lock node.
+func (lo *LockOrder) succs(id string) []string {
+	return sortedKeys(lo.edges[id])
+}
+
+// sccs runs Tarjan's algorithm over the lock graph (iterative, like
+// callgraph's), returning components in deterministic order. Nodes are
+// visited in sorted identity order and successors likewise, so the
+// output is stable.
+func (lo *LockOrder) sccs() [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	type frame struct {
+		id    string
+		succs []string
+		i     int
+	}
+	var visit func(root string)
+	visit = func(root string) {
+		frames := []frame{{id: root, succs: lo.succs(root)}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				s := f.succs[f.i]
+				f.i++
+				if _, seen := index[s]; !seen {
+					index[s] = next
+					low[s] = next
+					next++
+					stack = append(stack, s)
+					onStack[s] = true
+					frames = append(frames, frame{id: s, succs: lo.succs(s)})
+				} else if onStack[s] && index[s] < low[f.id] {
+					low[f.id] = index[s]
+				}
+				continue
+			}
+			if low[f.id] == index[f.id] {
+				var comp []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == f.id {
+						break
+					}
+				}
+				sort.Strings(comp)
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.id] < low[p.id] {
+					low[p.id] = low[f.id]
+				}
+			}
+		}
+	}
+	for _, id := range lo.locks {
+		if _, seen := index[id]; !seen {
+			visit(id)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// witness renders one edge's provenance in the `f: A → g: B` form: the
+// outermost function holding A, the chain down to the function that
+// performs the acquisition of B.
+func (lo *LockOrder) witness(from, to string) string {
+	w := lo.edges[from][to]
+	if w == nil {
+		return ""
+	}
+	if len(w.chain) == 1 {
+		return fmt.Sprintf("%s: %s → %s", w.chain[0], from, to)
+	}
+	var mid string
+	if len(w.chain) > 2 {
+		mid = " → " + strings.Join(w.chain[1:len(w.chain)-1], " → ")
+	}
+	return fmt.Sprintf("%s: %s%s → %s: %s", w.chain[0], from, mid, w.chain[len(w.chain)-1], to)
+}
+
+// cyclicComponents returns the SCCs that actually contain a cycle
+// (size > 1; self-edges are never added).
+func (lo *LockOrder) cyclicComponents() [][]string {
+	var out [][]string
+	for _, comp := range lo.sccs() {
+		if len(comp) > 1 {
+			out = append(out, comp)
+		}
+	}
+	return out
+}
+
+// findings reports every potential deadlock cycle. Mutual pairs (A→B
+// and B→A both present) get one finding each with the two-sided
+// witness; a component with no mutual pair is a longer rotation and
+// gets one finding walking its shortest cycle.
+func (lo *LockOrder) findings() []Finding {
+	var out []Finding
+	for _, comp := range lo.cyclicComponents() {
+		inComp := map[string]bool{}
+		for _, id := range comp {
+			inComp[id] = true
+		}
+		paired := false
+		for i, a := range comp {
+			for _, b := range comp[i+1:] {
+				ab, ba := lo.edges[a][b], lo.edges[b][a]
+				if ab == nil || ba == nil {
+					continue
+				}
+				paired = true
+				out = append(out, Finding{
+					Pos:  lo.fset.Position(ab.pos),
+					Rule: "lockorder",
+					Msg: fmt.Sprintf("lock-order cycle between %s and %s: %s, but %s "+
+						"— potential AB-BA deadlock; acquire them in one consistent order everywhere, "+
+						"or //lint:ignore lockorder <reason>",
+						a, b, lo.witness(a, b), lo.witness(b, a)),
+				})
+			}
+		}
+		if paired {
+			continue
+		}
+		cycle := lo.shortestCycle(comp[0], inComp)
+		if len(cycle) < 2 {
+			continue
+		}
+		var wits []string
+		for i, id := range cycle {
+			wits = append(wits, lo.witness(id, cycle[(i+1)%len(cycle)]))
+		}
+		first := lo.edges[cycle[0]][cycle[1]]
+		out = append(out, Finding{
+			Pos:  lo.fset.Position(first.pos),
+			Rule: "lockorder",
+			Msg: fmt.Sprintf("lock-order cycle: %s → %s (%s) — potential deadlock; "+
+				"acquire these locks in one consistent order everywhere, or //lint:ignore lockorder <reason>",
+				strings.Join(cycle, " → "), cycle[0], strings.Join(wits, "; ")),
+		})
+	}
+	return out
+}
+
+// shortestCycle BFSes from root within the component and returns the
+// shortest root → ... → root cycle as a node list (root once).
+func (lo *LockOrder) shortestCycle(root string, inComp map[string]bool) []string {
+	parent := map[string]string{root: ""}
+	queue := []string{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, s := range lo.succs(cur) {
+			if s == root {
+				cycle := []string{cur}
+				for cur != root {
+					cur = parent[cur]
+					cycle = append(cycle, cur)
+				}
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return cycle
+			}
+			if !inComp[s] {
+				continue
+			}
+			if _, seen := parent[s]; !seen {
+				parent[s] = cur
+				queue = append(queue, s)
+			}
+		}
+	}
+	return nil
+}
+
+// Dump renders the acquisition-order graph in a stable, line-oriented
+// text form mirroring callgraph.Dump: a summary line, one stanza per
+// lock with its out-edges and witnesses, then every cycle. Two builds
+// over identical sources produce identical bytes.
+func (lo *LockOrder) Dump() string {
+	var b strings.Builder
+	edges := 0
+	for _, from := range lo.locks {
+		edges += len(lo.edges[from])
+	}
+	comps := lo.sccs()
+	cyclic := len(lo.cyclicComponents())
+	fmt.Fprintf(&b, "lockorder: %d locks, %d edges, %d sccs (%d cyclic)\n",
+		len(lo.locks), edges, len(comps), cyclic)
+	for _, from := range lo.locks {
+		b.WriteString(from)
+		b.WriteByte('\n')
+		for _, to := range lo.succs(from) {
+			w := lo.edges[from][to]
+			pos := lo.fset.Position(w.pos)
+			fmt.Fprintf(&b, "  -> %s [%s] %s:%d\n",
+				to, lo.witness(from, to), filepath.Base(pos.Filename), pos.Line)
+		}
+	}
+	for _, comp := range lo.cyclicComponents() {
+		fmt.Fprintf(&b, "cycle: %s\n", strings.Join(comp, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+// Package atom exercises the atomic-consistency analysis: fields
+// mixing sync/atomic and plain access, typed atomics used directly,
+// and the two exemptions — plain writes before publication and a
+// mutex guarding every access.
+package atom
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mixed updates hits atomically but reads it plain elsewhere: the
+// classic torn read. n stays atomic-only and is clean.
+type Mixed struct {
+	hits int64
+	n    int64
+}
+
+// Bump is the atomic writer.
+func (m *Mixed) Bump() {
+	atomic.AddInt64(&m.hits, 1)
+	atomic.AddInt64(&m.n, 1)
+}
+
+// Report reads the atomically-updated field directly: flagged.
+func (m *Mixed) Report() int64 {
+	return m.hits // want atomicfield
+}
+
+// NewMixed initializes plainly before the value escapes: the local is
+// provably unpublished at both writes, so the constructor is exempt.
+func NewMixed() *Mixed {
+	m := &Mixed{}
+	m.hits = 0
+	m.n = 1
+	return m
+}
+
+// sink publishes whatever is stored into it.
+var sink *Mixed
+
+// NewMixedLeaky publishes first, then keeps writing plainly: after the
+// escape another goroutine may already hold the pointer, so the write
+// is flagged.
+func NewMixedLeaky() *Mixed {
+	m := &Mixed{}
+	sink = m
+	m.hits = 1 // want atomicfield
+	return m
+}
+
+// Typed carries an atomic.Int64: the type itself declares the atomic
+// regime, so a direct copy bypassing the API is flagged without any
+// sync/atomic callsite as witness.
+type Typed struct {
+	v atomic.Int64
+}
+
+// Load uses the API: clean.
+func (t *Typed) Load() int64 {
+	return t.v.Load()
+}
+
+// Snapshot copies the atomic value wholesale: flagged.
+func (t *Typed) Snapshot() int64 {
+	plain := t.v // want atomicfield
+	return plain.Load()
+}
+
+// Guarded mixes regimes but every access — the atomic writer included —
+// holds mu: the mutex serializes them, so the mix is redundant rather
+// than racy, and the analyzer stays silent.
+type Guarded struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add writes under the lock.
+func (g *Guarded) Add(d int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	atomic.AddInt64(&g.v, d)
+}
+
+// Get reads under the same lock.
+func (g *Guarded) Get() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Partial locks only the plain reader; the atomic writer bypasses the
+// mutex, so the lock proves nothing and the read is flagged.
+type Partial struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add writes without the lock.
+func (p *Partial) Add(d int64) {
+	atomic.AddInt64(&p.v, d)
+}
+
+// Get holds the mutex, but the writer does not.
+func (p *Partial) Get() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.v // want atomicfield
+}
+
+// Suppressed documents the escape hatch: a justified lint:ignore.
+type Suppressed struct {
+	c int64
+}
+
+// Inc is the atomic writer.
+func (s *Suppressed) Inc() {
+	atomic.AddInt64(&s.c, 1)
+}
+
+// Racy reads plainly but is suppressed with a reason.
+func (s *Suppressed) Racy() int64 {
+	//lint:ignore atomicfield fixture for the suppression path
+	return s.c
+}

@@ -1,0 +1,42 @@
+package cache
+
+// This file pins the defer-in-loop interaction the exit-edge replay
+// used to get wrong: a `defer mu.Unlock()` registered inside a loop
+// body does NOT release per iteration (it runs at function exit), and
+// it does not run at all on a zero-iteration path.
+
+// LockThenLoop acquires before the loop and schedules the release
+// inside the body. On a zero-iteration run the defer never registers
+// and the lock leaks out of the function; replaying the defer on every
+// exit edge masked exactly this, so the leak check now works off the
+// registration-sensitive pending set.
+func (c *Counter) LockThenLoop(items []int) {
+	c.mu.Lock() // want lockcheck
+	for range items {
+		defer c.mu.Unlock()
+	}
+}
+
+// IterDefer locks per iteration but defers the release: the deferred
+// unlocks pile up until exit, so every iteration after the first
+// re-acquires a lock the function still holds — a guaranteed
+// self-deadlock on any two-element slice.
+func (c *Counter) IterDefer(items []int) {
+	for range items {
+		c.mu.Lock() // want lockcheck
+		defer c.mu.Unlock()
+		c.n++
+	}
+}
+
+// CondDefer registers the release on the same path that acquires: the
+// pending kill at the registration is path-correlated, so neither arm
+// leaks and the function is clean.
+func (c *Counter) CondDefer(lock bool) int {
+	if lock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n
+	}
+	return -1
+}

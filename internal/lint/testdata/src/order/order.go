@@ -1,0 +1,88 @@
+// Package order exercises the module-wide lock-acquisition-order
+// analysis: A and B are taken in both orders on different call paths —
+// a genuine AB-BA cycle, one side witnessed through a helper — while C
+// and D are taken in one consistent order everywhere, which must not
+// be reported even though both locks appear in several functions.
+package order
+
+import "sync"
+
+// A and B form the cycle.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// LockAB holds a.mu and takes b.mu through a helper: the A→B side,
+// with an interprocedural witness chain. The finding lands on the
+// callsite that completes the cycle.
+func LockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	grabB(b) // want lockorder
+}
+
+// grabB performs the nested acquisition for LockAB.
+func grabB(b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// LockBA takes the same pair in the opposite order: the B→A side.
+func LockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// X, Y, and Z close a three-lock rotation: no pair is taken in both
+// orders, so no two-sided witness exists, but X→Y, Y→Z, and Z→X
+// together can deadlock three goroutines. The finding walks the
+// shortest cycle and anchors on the acquisition completing the first
+// edge from the alphabetically-first lock.
+type X struct{ mu sync.Mutex }
+type Y struct{ mu sync.Mutex }
+type Z struct{ mu sync.Mutex }
+
+// StepXY contributes X→Y.
+func StepXY(x *X, y *Y) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want lockorder
+	defer y.mu.Unlock()
+}
+
+// StepYZ contributes Y→Z.
+func StepYZ(y *Y, z *Z) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	z.mu.Lock()
+	defer z.mu.Unlock()
+}
+
+// StepZX closes the rotation with Z→X.
+func StepZX(z *Z, x *X) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+}
+
+// C and D are always ordered C before D: consistent, clean.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// First nests D inside C with the defer idiom.
+func First(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// Second repeats the same order with explicit releases.
+func Second(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
