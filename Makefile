@@ -7,9 +7,12 @@ GO ?= go
 # graph caches, chase sessions, the worker pool, parallel PLL
 # construction) that must stay clean under the race detector. The cache
 # stripes, singleflight, and eviction paths all live in internal/match.
+# cmd/wqe-datagen is deliberately absent: it spawns no goroutines of
+# its own (the parallel PLL build it calls is raced via
+# internal/distindex), so racing it would only slow CI down.
 RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par ./internal/distindex ./cmd/wqe-serve
 
-.PHONY: all build vet fmt-check test race lint callgraph lockorder check-cfg check-lockorder check serve-smoke bench-parallel bench-batch bench-shard ci
+.PHONY: all build vet fmt-check test race lint callgraph lockorder check-cfg check-lockorder check serve-smoke fuzz-snapshot bench-parallel bench-batch bench-shard bench-load ci
 
 all: build
 
@@ -65,6 +68,12 @@ check-lockorder:
 serve-smoke:
 	$(GO) run ./cmd/wqe-serve -smoke
 
+# Short randomized hammering of the binary snapshot reader on top of
+# the committed corpus (which `go test` always replays as regression
+# inputs). Any accepted input must re-encode byte-identically.
+fuzz-snapshot:
+	$(GO) test ./internal/graph -run '^$$' -fuzz FuzzSnapshotReader -fuzztime 10s
+
 # Everything a PR must pass, without the benchmark regeneration.
 check: build vet fmt-check test race lint check-lockorder serve-smoke
 
@@ -84,4 +93,12 @@ bench-batch:
 bench-shard:
 	WQE_SHARD_BENCH_JSON=$(abspath BENCH_shard.json) $(GO) test ./internal/chase -run TestEmitShardBench -v
 
-ci: check bench-parallel bench-batch bench-shard
+# Regenerate BENCH_load.json: million-node cold start — JSON vs binary
+# snapshot load wall time, bytes on disk, heap residency, PLL build vs
+# embedded-label restore, and AskAll throughput over the restored
+# graph (byte-identical to fresh, asserted). WQE_LOAD_BENCH_NODES
+# scales the instance down for quick local runs.
+bench-load:
+	WQE_LOAD_BENCH_JSON=$(abspath BENCH_load.json) $(GO) test ./internal/chase -run TestEmitLoadBench -timeout 1800s -v
+
+ci: check fuzz-snapshot bench-parallel bench-batch bench-shard bench-load

@@ -4,8 +4,16 @@
 // serves Ask/AskFast/AskAll/Why/WhyEmpty/WhyMany over HTTP+JSON.
 //
 //	wqe-serve -addr :8080 -graph products=g.json
+//	wqe-serve -graph big=big.snap          # binary snapshot, sniffed by magic
 //	wqe-serve -graph a=a.json -graph b=b.json -slots 4 -queue 64
 //	wqe-serve -smoke   # self-exercise every endpoint against the Fig 1 fixture, then exit
+//
+// -graph accepts either on-disk format: graph JSON or the binary
+// snapshot written by wqe-datagen -snapshot / wqe -save-snapshot,
+// recognized by its leading magic bytes. A snapshot with embedded PLL
+// labels restores the distance index instead of rebuilding it, so a
+// million-node graph cold-starts in seconds; /stats reports each
+// graph's source format, snapshot version, and load time.
 //
 // Endpoints (see README "Serving" for payloads):
 //
@@ -40,7 +48,7 @@ import (
 	"time"
 
 	"wqe/internal/chase"
-	"wqe/internal/graph"
+	"wqe/internal/graphload"
 	"wqe/internal/par"
 )
 
@@ -147,38 +155,34 @@ func run(args []string) int {
 	return 0
 }
 
-// loadHandles loads every -graph name=path pair and builds its resident
-// session.
+// loadHandles loads every -graph name=path pair (JSON or binary
+// snapshot, sniffed) and builds its resident session — over the
+// restored PLL index when the snapshot embeds one.
 func loadHandles(specs []string, cfg chase.Config) ([]*graphHandle, error) {
 	var out []*graphHandle
 	seen := map[string]bool{}
 	for _, spec := range specs {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || path == "" {
-			return nil, fmt.Errorf("bad -graph %q: want name=path.json", spec)
+			return nil, fmt.Errorf("bad -graph %q: want name=path", spec)
 		}
 		if seen[name] {
 			return nil, fmt.Errorf("duplicate -graph name %q", name)
 		}
 		seen[name] = true
-		g, err := loadGraph(path)
+		res, err := graphload.Open(path)
 		if err != nil {
 			return nil, fmt.Errorf("load graph %q: %w", name, err)
 		}
 		out = append(out, &graphHandle{
-			name:    name,
-			g:       g,
-			session: chase.NewSession(g, cfg),
+			name:        name,
+			g:           res.G,
+			session:     chase.NewSessionWithIndex(res.G, cfg, res.Index),
+			source:      res.Source,
+			snapVersion: res.SnapshotVersion,
+			pllRestored: res.PLLRestored(),
+			loadMS:      float64(res.Elapsed) / float64(time.Millisecond),
 		})
 	}
 	return out, nil
-}
-
-func loadGraph(path string) (*graph.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return graph.ReadJSON(f)
 }

@@ -24,12 +24,22 @@ import (
 const statusClientGone = 499
 
 // graphHandle is one resident graph: its long-lived session (shared
-// distance oracle, star-view cache, helper budget) plus the metadata
-// /graphs reports.
+// distance oracle, star-view cache, helper budget) plus the residency
+// metadata /graphs and /stats report.
 type graphHandle struct {
 	name    string
 	g       *graph.Graph
 	session *chase.Session
+
+	// Residency provenance for /stats: which on-disk format the graph
+	// loaded from ("json", "snapshot", or "builtin" for fixtures), the
+	// snapshot format version (0 for the others), whether the distance
+	// index was restored from embedded PLL labels rather than built,
+	// and the load wall time.
+	source      string
+	snapVersion uint32
+	pllRestored bool
+	loadMS      float64
 }
 
 // admission is the server's bounded job queue: maxRun execution slots
@@ -502,13 +512,28 @@ func (s *server) handleGraphs(rw http.ResponseWriter, r *http.Request) {
 }
 
 // statsResponse is the /stats payload: queue gauges, request counters,
-// and each resident session's cumulative counters (questions, steps,
-// and the star-view cache's full atomic set).
+// and each resident graph's residency metadata plus its session's
+// cumulative counters (questions, steps, and the star-view cache's
+// full atomic set).
 type statsResponse struct {
-	UptimeMS float64                          `json:"uptime_ms"`
-	Queue    queueStatsJSON                   `json:"queue"`
-	Requests requestStatsJSON                 `json:"requests"`
-	Graphs   map[string]chase.SessionCounters `json:"graphs"`
+	UptimeMS float64                   `json:"uptime_ms"`
+	Queue    queueStatsJSON            `json:"queue"`
+	Requests requestStatsJSON          `json:"requests"`
+	Graphs   map[string]graphStatsJSON `json:"graphs"`
+}
+
+// graphStatsJSON is one resident graph's /stats entry: size and load
+// provenance alongside the session counters.
+type graphStatsJSON struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Source is "json", "snapshot", or "builtin"; SnapshotVersion is
+	// the binary format version when Source is "snapshot".
+	Source          string  `json:"source"`
+	SnapshotVersion uint32  `json:"snapshot_version,omitempty"`
+	PLLRestored     bool    `json:"pll_restored"`
+	LoadMS          float64 `json:"load_ms"`
+	chase.SessionCounters
 }
 
 type queueStatsJSON struct {
@@ -551,10 +576,19 @@ func (s *server) handleStats(rw http.ResponseWriter, r *http.Request) {
 			JobErrors:     s.stats.jobErrors.Load(),
 			WriteErrors:   s.stats.writeErrs.Load(),
 		},
-		Graphs: map[string]chase.SessionCounters{},
+		Graphs: map[string]graphStatsJSON{},
 	}
 	for _, name := range s.names {
-		out.Graphs[name] = s.graphs[name].session.Counters()
+		h := s.graphs[name]
+		out.Graphs[name] = graphStatsJSON{
+			Nodes:           h.g.NumNodes(),
+			Edges:           h.g.NumEdges(),
+			Source:          h.source,
+			SnapshotVersion: h.snapVersion,
+			PLLRestored:     h.pllRestored,
+			LoadMS:          h.loadMS,
+			SessionCounters: h.session.Counters(),
+		}
 	}
 	s.writeJSON(rw, out)
 }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -12,6 +15,8 @@ import (
 
 	"wqe/internal/chase"
 	"wqe/internal/datagen"
+	"wqe/internal/distindex"
+	"wqe/internal/graph"
 )
 
 // newTestServer builds a server over the Fig 1 fixture and an
@@ -254,5 +259,103 @@ func TestSmokeEndToEnd(t *testing.T) {
 	cfg := chase.DefaultConfig()
 	if err := runSmoke(cfg, 2, 8); err != nil {
 		t.Fatalf("smoke: %v", err)
+	}
+}
+
+// TestLoadHandlesSnapshot pins the resident-graph loading path over
+// both on-disk formats: the same graph served from JSON and from a
+// PLL-embedded binary snapshot, with /stats reporting each handle's
+// provenance.
+func TestLoadHandlesSnapshot(t *testing.T) {
+	f := datagen.NewFig1()
+	dir := t.TempDir()
+
+	jsonPath := filepath.Join(dir, "g.json")
+	var buf bytes.Buffer
+	if err := f.G.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "g.snap")
+	buf.Reset()
+	if err := f.G.WriteSnapshot(&buf, distindex.NewPLL(f.G).Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := chase.DefaultConfig()
+	handles, err := loadHandles([]string{"j=" + jsonPath, "s=" + snapPath}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(handles) != 2 {
+		t.Fatalf("got %d handles", len(handles))
+	}
+	for _, h := range handles {
+		switch h.name {
+		case "j":
+			if h.source != "json" || h.snapVersion != 0 || h.pllRestored {
+				t.Errorf("json handle provenance: %+v", h)
+			}
+		case "s":
+			if h.source != "snapshot" || h.snapVersion != graph.SnapshotVersion || !h.pllRestored {
+				t.Errorf("snapshot handle provenance: %+v", h)
+			}
+		}
+		if h.g.NumNodes() != f.G.NumNodes() || h.g.NumEdges() != f.G.NumEdges() {
+			t.Errorf("handle %q shape %v, want %v", h.name, h.g, f.G)
+		}
+	}
+
+	srv := newServer(handles, 1, 4, 30*time.Second)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	var stats statsResponse
+	if err := smokeGet(ts.URL+"/stats", &stats); err != nil {
+		t.Fatal(err)
+	}
+	s := stats.Graphs["s"]
+	if s.Source != "snapshot" || s.SnapshotVersion != graph.SnapshotVersion || !s.PLLRestored {
+		t.Errorf("/stats snapshot entry: %+v", s)
+	}
+	if s.Nodes != f.G.NumNodes() || s.Edges != f.G.NumEdges() || s.LoadMS < 0 {
+		t.Errorf("/stats snapshot residency: %+v", s)
+	}
+	if j := stats.Graphs["j"]; j.Source != "json" || j.PLLRestored {
+		t.Errorf("/stats json entry: %+v", j)
+	}
+
+	// Both residents answer the fixture question identically.
+	for _, name := range []string{"j", "s"} {
+		body := map[string]interface{}{
+			"graph":    name,
+			"query":    json.RawMessage(smokeQueryJSON),
+			"exemplar": json.RawMessage(smokeExemplarJSON),
+		}
+		bb, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r askResponse
+		if err := smokePostJSON(ts.URL+"/ask", bb, &r); err != nil {
+			t.Fatalf("/ask over %q: %v", name, err)
+		}
+		if r.Steps < 1 || r.Rewrite == "" {
+			t.Errorf("/ask over %q: empty outcome %+v", name, r)
+		}
+	}
+
+	if _, err := loadHandles([]string{"bad"}, cfg); err == nil {
+		t.Error("malformed -graph spec accepted")
+	}
+	if _, err := loadHandles([]string{"a=" + jsonPath, "a=" + snapPath}, cfg); err == nil {
+		t.Error("duplicate -graph name accepted")
+	}
+	if _, err := loadHandles([]string{"x=" + filepath.Join(dir, "missing")}, cfg); err == nil {
+		t.Error("missing graph file accepted")
 	}
 }

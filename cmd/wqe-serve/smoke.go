@@ -54,7 +54,7 @@ const (
 func runSmoke(cfg chase.Config, slots, queueCap int) error {
 	f := datagen.NewFig1()
 	cfg.Budget = 4 // the Fig 1 optimum needs the Example 3.3 budget
-	handles := []*graphHandle{{name: "fig1", g: f.G, session: chase.NewSession(f.G, cfg)}}
+	handles := []*graphHandle{{name: "fig1", g: f.G, session: chase.NewSession(f.G, cfg), source: "builtin"}}
 	srv := newServer(handles, par.Workers(slots), queueCap, 30*time.Second)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -210,6 +210,13 @@ func smokeExercise(base string) error {
 		return err
 	}
 	sc := stats.Graphs["fig1"]
+	if sc.Nodes != graphs[0].Nodes || sc.Edges != graphs[0].Edges {
+		return fmt.Errorf("/stats residency size %d/%d, want %d/%d",
+			sc.Nodes, sc.Edges, graphs[0].Nodes, graphs[0].Edges)
+	}
+	if sc.Source != "builtin" || sc.SnapshotVersion != 0 || sc.PLLRestored {
+		return fmt.Errorf("/stats residency provenance: %+v", sc)
+	}
 	if sc.Questions != 9 {
 		return fmt.Errorf("/stats questions = %d, want 9", sc.Questions)
 	}

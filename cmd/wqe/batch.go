@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wqe/internal/chase"
+	"wqe/internal/graphload"
 )
 
 // batchJobSpec is one entry of the -batch jobs file: paths to the
@@ -66,9 +67,13 @@ func runBatch(graphPath, batchPath string, workers, cacheShards int,
 	if graphPath == "" {
 		return fmt.Errorf("-batch needs -graph")
 	}
-	g, err := loadGraph(graphPath)
+	res, err := graphload.Open(graphPath)
 	if err != nil {
 		return err
+	}
+	g := res.G
+	if res.PLLRestored() {
+		fmt.Fprintln(os.Stderr, "wqe: restored PLL distance index from snapshot")
 	}
 	specs, err := loadBatchSpecs(batchPath)
 	if err != nil {
@@ -82,7 +87,7 @@ func runBatch(graphPath, batchPath string, workers, cacheShards int,
 	cfg.MaxBound = maxBound
 	cfg.Cache = true
 	cfg.CacheShards = cacheShards
-	sess := chase.NewSession(g, cfg)
+	sess := chase.NewSessionWithIndex(g, cfg, res.Index)
 
 	jobs := make([]chase.BatchJob, len(specs))
 	for i, sp := range specs {

@@ -7,6 +7,12 @@
 //	wqe -graph g.json -query q.json -exemplar e.json -algo answ -budget 3
 //	wqe -graph g.json -batch jobs.json -workers 4   # batch of questions
 //	wqe -demo          # run the paper's Fig 1 cellphone example
+//	wqe -graph g.json -save-snapshot g.snap         # convert to binary snapshot
+//
+// -graph accepts either on-disk format — graph JSON or the binary
+// snapshot written by -save-snapshot / wqe-datagen -snapshot — sniffed
+// from the file's leading bytes. A snapshot with embedded PLL labels
+// also restores the distance index, skipping its construction.
 //
 // Algorithms: answ (exact anytime), topk, heu (beam search), whymany,
 // whyempty, fmansw (baseline).
@@ -26,8 +32,10 @@ import (
 
 	"wqe/internal/chase"
 	"wqe/internal/datagen"
+	"wqe/internal/distindex"
 	"wqe/internal/exemplar"
 	"wqe/internal/graph"
+	"wqe/internal/graphload"
 	"wqe/internal/query"
 )
 
@@ -47,16 +55,22 @@ func main() {
 		batchPath    = flag.String("batch", "", "jobs JSON file: answer a batch of Why-questions over one shared session")
 		workers      = flag.Int("workers", 0, "batch worker count (0 = one per logical CPU)")
 		cacheShards  = flag.Int("cache-shards", 0, "star-view cache lock stripes (0 = auto, 1 = unsharded; rounded up to a power of two)")
+		saveSnapshot = flag.String("save-snapshot", "",
+			"write the loaded -graph as a binary snapshot to this path (alone with -graph: convert and exit)")
 	)
 	flag.Parse()
 
 	var err error
 	if *batchPath != "" {
-		err = runBatch(*graphPath, *batchPath, *workers, *cacheShards,
-			*budget, *theta, *lambda, *maxBound)
+		if *saveSnapshot != "" {
+			err = fmt.Errorf("-save-snapshot does not combine with -batch")
+		} else {
+			err = runBatch(*graphPath, *batchPath, *workers, *cacheShards,
+				*budget, *theta, *lambda, *maxBound)
+		}
 	} else {
 		err = run(*graphPath, *queryPath, *exemplarPath, *algo, *k, *beam,
-			*budget, *theta, *lambda, *maxBound, *cacheShards, *demo)
+			*budget, *theta, *lambda, *maxBound, *cacheShards, *demo, *saveSnapshot)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wqe:", err)
@@ -65,12 +79,14 @@ func main() {
 }
 
 func run(graphPath, queryPath, exemplarPath, algo string, k, beam int,
-	budget, theta, lambda float64, maxBound, cacheShards int, demo bool) error {
+	budget, theta, lambda float64, maxBound, cacheShards int, demo bool,
+	saveSnapshot string) error {
 
 	var (
-		g *graph.Graph
-		q *query.Query
-		e *exemplar.Exemplar
+		g   *graph.Graph
+		q   *query.Query
+		e   *exemplar.Exemplar
+		idx distindex.Index
 	)
 	if demo {
 		f := datagen.NewFig1()
@@ -79,12 +95,28 @@ func run(graphPath, queryPath, exemplarPath, algo string, k, beam int,
 			budget = 4 // the Fig 1 optimum needs the Example 3.3 budget
 		}
 	} else {
-		if graphPath == "" || queryPath == "" || exemplarPath == "" {
+		if graphPath == "" {
 			return fmt.Errorf("need -graph, -query, and -exemplar (or -demo)")
 		}
-		var err error
-		if g, err = loadGraph(graphPath); err != nil {
+		res, err := graphload.Open(graphPath)
+		if err != nil {
 			return err
+		}
+		g, idx = res.G, res.Index
+		if res.PLLRestored() {
+			fmt.Fprintln(os.Stderr, "wqe: restored PLL distance index from snapshot")
+		}
+		if saveSnapshot != "" {
+			if err := writeSnapshotFile(saveSnapshot, res); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "wqe: wrote snapshot", saveSnapshot)
+			if queryPath == "" && exemplarPath == "" {
+				return nil // conversion-only run
+			}
+		}
+		if queryPath == "" || exemplarPath == "" {
+			return fmt.Errorf("need -graph, -query, and -exemplar (or -demo)")
 		}
 		if q, err = loadQuery(queryPath); err != nil {
 			return err
@@ -100,7 +132,8 @@ func run(graphPath, queryPath, exemplarPath, algo string, k, beam int,
 	cfg.Lambda = lambda
 	cfg.MaxBound = maxBound
 	cfg.CacheShards = cacheShards
-	w, err := chase.NewWhy(g, q, e, cfg)
+	sess := chase.NewSessionWithIndex(g, cfg, idx)
+	w, err := sess.Why(q, e)
 	if err != nil {
 		return err
 	}
@@ -181,13 +214,24 @@ func nodeList(g *graph.Graph, nodes []graph.NodeID) string {
 	return out + "}"
 }
 
-func loadGraph(path string) (*graph.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// writeSnapshotFile writes the loaded graph as a binary snapshot,
+// carrying any restored PLL labels through so the snapshot stays as
+// capable as its source.
+func writeSnapshotFile(path string, res *graphload.Result) error {
+	var aux []byte
+	if pll, ok := res.Index.(*distindex.PLL); ok {
+		aux = pll.Marshal()
 	}
-	defer f.Close()
-	return graph.ReadJSON(f)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := res.G.WriteSnapshot(f, aux)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func loadQuery(path string) (*query.Query, error) {

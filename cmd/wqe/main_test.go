@@ -12,14 +12,14 @@ import (
 // TestRunDemo drives the CLI's full pipeline on the built-in example.
 func TestRunDemo(t *testing.T) {
 	for _, algo := range []string{"answ", "topk", "heu", "whymany", "whyempty", "fmansw"} {
-		if err := run("", "", "", algo, 2, 2, 4, 1, 1, 3, 0, true); err != nil {
+		if err := run("", "", "", algo, 2, 2, 4, 1, 1, 3, 0, true, ""); err != nil {
 			t.Errorf("run(-demo, -algo %s): %v", algo, err)
 		}
 	}
-	if err := run("", "", "", "bogus", 2, 2, 4, 1, 1, 3, 0, true); err == nil {
+	if err := run("", "", "", "bogus", 2, 2, 4, 1, 1, 3, 0, true, ""); err == nil {
 		t.Error("unknown algorithm must error")
 	}
-	if err := run("", "", "", "answ", 2, 2, 4, 1, 1, 3, 0, false); err == nil {
+	if err := run("", "", "", "answ", 2, 2, 4, 1, 1, 3, 0, false, ""); err == nil {
 		t.Error("missing file flags must error")
 	}
 }
@@ -53,11 +53,65 @@ func TestRunFromFiles(t *testing.T) {
 	}
 	ef.Close()
 
-	if err := run(gPath, qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, 2, false); err != nil {
+	if err := run(gPath, qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, 2, false, ""); err != nil {
 		t.Fatalf("run from files: %v", err)
 	}
-	if err := run(filepath.Join(dir, "missing.json"), qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, 0, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.json"), qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, 0, false, ""); err == nil {
 		t.Error("missing graph file must error")
+	}
+}
+
+// TestRunSnapshotRoundTrip converts the JSON graph to a binary
+// snapshot (-save-snapshot alone), then answers the same question from
+// the snapshot — the sniffing loader must accept both formats.
+func TestRunSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := datagen.NewFig1()
+
+	write := func(name string, emit func(io.Writer) error) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		fh, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := emit(fh); err != nil {
+			t.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	gPath := write("g.json", f.G.WriteJSON)
+	qPath := write("q.json", f.Q.WriteJSON)
+	ePath := write("e.json", f.E.WriteJSON)
+
+	snapPath := filepath.Join(dir, "g.snap")
+	if err := run(gPath, "", "", "answ", 2, 2, 4, 1, 1, 3, 0, false, snapPath); err != nil {
+		t.Fatalf("conversion run: %v", err)
+	}
+	if fi, err := os.Stat(snapPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if err := run(snapPath, qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, 0, false, ""); err != nil {
+		t.Fatalf("run from snapshot: %v", err)
+	}
+	// Snapshot-in, snapshot-out while answering in the same run.
+	again := filepath.Join(dir, "g2.snap")
+	if err := run(snapPath, qPath, ePath, "answ", 2, 2, 4, 1, 1, 3, 0, false, again); err != nil {
+		t.Fatalf("answer+save run: %v", err)
+	}
+	a, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("snapshot → snapshot conversion not byte-identical")
 	}
 }
 

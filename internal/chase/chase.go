@@ -65,6 +65,15 @@ type Config struct {
 	// Output is byte-identical for every setting — sharding only changes
 	// which star tables get rebuilt, never their contents.
 	CacheShards int
+	// CacheWeight, when positive, is the star-view cache's total weight
+	// budget in star-table cells (match.StarTable.Size): entries heavier
+	// than half a shard's share are never admitted, and admitting a
+	// heavy table evicts least-hit entries only until the budget fits,
+	// so one huge star view cannot flush a shard's working set. 0 (the
+	// default) keeps pure entry-count capacity. Like CacheShards, the
+	// setting only changes which tables stay resident, never their
+	// contents, so output stays byte-identical.
+	CacheWeight int
 	// Prune enables the cl⁺ pruning strategies of Lemma 5.5.
 	Prune bool
 	// MaxOpsPerClass caps how many picky operators one state generates
@@ -286,7 +295,7 @@ func newWhyWith(g *graph.Graph, q *query.Query, e *exemplar.Exemplar, cfg Config
 	// same graph stay race-free.
 	g.WarmCaches()
 	if cache == nil && cfg.Cache {
-		cache = match.NewCacheSharded(cfg.CacheCap, 0.95, cfg.CacheShards)
+		cache = match.NewCacheWeighted(cfg.CacheCap, 0.95, cfg.CacheShards, cfg.CacheWeight)
 	}
 	w.Matcher = match.NewMatcher(g, w.Dist, cache)
 	w.FocusCands = g.NodesByLabel(q.Nodes[q.Focus].Label)

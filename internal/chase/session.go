@@ -48,17 +48,29 @@ type Session struct {
 // NewSession builds a session over g. The config's Budget/Theta/Lambda
 // apply to every Ask unless overridden per call.
 func NewSession(g *graph.Graph, cfg Config) *Session {
+	return NewSessionWithIndex(g, cfg, nil)
+}
+
+// NewSessionWithIndex is NewSession with a caller-supplied distance
+// oracle — typically one restored from a snapshot's embedded PLL
+// labels, so cold start skips index construction entirely. idx must
+// have been built over g (or a bit-identical restore of it); nil falls
+// back to the automatic backend choice.
+func NewSessionWithIndex(g *graph.Graph, cfg Config, idx distindex.Index) *Session {
 	cfg = cfg.withDefaults()
+	if idx == nil {
+		idx = distindex.Auto(g)
+	}
 	s := &Session{
 		G:      g,
 		Cfg:    cfg,
-		dist:   distindex.Auto(g),
+		dist:   idx,
 		budget: par.SharedBudget(),
 		//lint:ignore detsource injectable-clock default; only stats and anytime deadline cutoffs read it, never ranking
 		clock: time.Now,
 	}
 	if cfg.Cache {
-		s.cache = match.NewCacheSharded(cfg.CacheCap, 0.95, cfg.CacheShards)
+		s.cache = match.NewCacheWeighted(cfg.CacheCap, 0.95, cfg.CacheShards, cfg.CacheWeight)
 	}
 	return s
 }

@@ -1,0 +1,108 @@
+package distindex
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wqe/internal/graph"
+)
+
+func TestPLLMarshalRoundTrip(t *testing.T) {
+	g := randomGraph(40, 120, 9)
+	p := NewPLL(g)
+	blob := p.Marshal()
+
+	r, err := UnmarshalPLL(g, blob)
+	if err != nil {
+		t.Fatalf("UnmarshalPLL: %v", err)
+	}
+	// Bit-identical restore: same rank permutation, same label lists.
+	for v := range p.rank {
+		if p.rank[v] != r.rank[v] || p.inv[v] != r.inv[v] {
+			t.Fatalf("rank/inv mismatch at %d", v)
+		}
+		for side, pair := range [][2][]labelEntry{{p.in[v], r.in[v]}, {p.out[v], r.out[v]}} {
+			if len(pair[0]) != len(pair[1]) {
+				t.Fatalf("label list length mismatch at node %d side %d", v, side)
+			}
+			for i := range pair[0] {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("label entry mismatch at node %d side %d entry %d", v, side, i)
+				}
+			}
+		}
+	}
+	// Same answers on every pair.
+	n := g.NumNodes()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			s, d := graph.NodeID(a), graph.NodeID(b)
+			if p.Dist(s, d) != r.Dist(s, d) {
+				t.Fatalf("Dist(%d,%d) differs after restore", a, b)
+			}
+			if p.Within(s, d, 3) != r.Within(s, d, 3) {
+				t.Fatalf("Within(%d,%d,3) differs after restore", a, b)
+			}
+		}
+	}
+	// Deterministic encoding: marshal of the restore is byte-identical.
+	if !bytes.Equal(blob, r.Marshal()) {
+		t.Fatalf("re-marshal differs")
+	}
+}
+
+func TestPLLUnmarshalRejects(t *testing.T) {
+	g := randomGraph(20, 50, 3)
+	blob := NewPLL(g).Marshal()
+
+	if _, err := UnmarshalPLL(randomGraph(21, 50, 3), blob); err == nil ||
+		!strings.Contains(err.Error(), "nodes") {
+		t.Errorf("size mismatch not rejected clearly: %v", err)
+	}
+	for _, cut := range []int{0, 4, len(blob) / 2, len(blob) - 1} {
+		if _, err := UnmarshalPLL(g, blob[:cut]); err == nil {
+			t.Errorf("truncation at %d not rejected", cut)
+		}
+	}
+	if _, err := UnmarshalPLL(g, append([]byte(nil), append(blob, 0)...)); err == nil {
+		t.Errorf("trailing bytes not rejected")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, err := UnmarshalPLL(g, bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic not rejected clearly: %v", err)
+	}
+	bad = append([]byte(nil), blob...)
+	bad[8] = 0x7F // version field
+	if _, err := UnmarshalPLL(g, bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version skew not rejected clearly: %v", err)
+	}
+}
+
+// TestPLLSnapshotEmbedding is the composition the server cold path
+// uses: graph + marshaled PLL through one snapshot file, restored into
+// an index that answers identically.
+func TestPLLSnapshotEmbedding(t *testing.T) {
+	g := randomGraph(30, 90, 11)
+	p := NewPLL(g)
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf, p.Marshal()); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	snap, err := graph.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	r, err := UnmarshalPLL(snap.G, snap.Aux)
+	if err != nil {
+		t.Fatalf("UnmarshalPLL(aux): %v", err)
+	}
+	for a := 0; a < g.NumNodes(); a++ {
+		for b := 0; b < g.NumNodes(); b++ {
+			if p.Dist(graph.NodeID(a), graph.NodeID(b)) != r.Dist(graph.NodeID(a), graph.NodeID(b)) {
+				t.Fatalf("embedded restore Dist(%d,%d) differs", a, b)
+			}
+		}
+	}
+}

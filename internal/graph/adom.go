@@ -40,6 +40,7 @@ func (g *Graph) ActiveDomain(name string) *Domain {
 	if !ok {
 		return &Domain{Attr: name}
 	}
+	g.ensure() // before lazyMu: compaction takes the same mutex
 	g.lazyMu.Lock()
 	defer g.lazyMu.Unlock()
 	if g.adoms == nil {
@@ -56,7 +57,7 @@ func (g *Graph) ActiveDomain(name string) *Domain {
 // this is purely a performance warm-up: call it once after construction
 // so concurrent readers never stall behind a full domain scan.
 func (g *Graph) WarmCaches() {
-	g.Diameter()
+	g.Diameter() // calls ensure, so the arena scan below reads a current view
 	g.lazyMu.Lock()
 	defer g.lazyMu.Unlock()
 	if g.adoms == nil {
@@ -64,8 +65,9 @@ func (g *Graph) WarmCaches() {
 	}
 }
 
-// buildDomainsLocked scans every node tuple once and materializes all
-// active domains. The caller must hold g.lazyMu.
+// buildDomainsLocked scans the attribute arena once and materializes all
+// active domains. The caller must hold g.lazyMu and have ensured the
+// arena is compacted (no pending SetAttr overrides).
 func (g *Graph) buildDomainsLocked() {
 	type seenKey struct {
 		attr int32
@@ -73,28 +75,26 @@ func (g *Graph) buildDomainsLocked() {
 	}
 	seen := make(map[seenKey]struct{})
 	doms := make(map[int32]*Domain)
-	for _, tuple := range g.attrs {
-		for _, av := range tuple {
-			k := seenKey{av.Attr, av.Val}
-			if _, dup := seen[k]; dup {
-				continue
+	for _, av := range g.attrArena {
+		k := seenKey{av.Attr, av.Val}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		d := doms[av.Attr]
+		if d == nil {
+			d = &Domain{Attr: g.Attrs.Name(av.Attr)}
+			doms[av.Attr] = d
+		}
+		d.Values = append(d.Values, av.Val)
+		if av.Val.Kind == Number {
+			if d.Numbers == 0 || av.Val.Num < d.NumMin {
+				d.NumMin = av.Val.Num
 			}
-			seen[k] = struct{}{}
-			d := doms[av.Attr]
-			if d == nil {
-				d = &Domain{Attr: g.Attrs.Name(av.Attr)}
-				doms[av.Attr] = d
+			if d.Numbers == 0 || av.Val.Num > d.NumMax {
+				d.NumMax = av.Val.Num
 			}
-			d.Values = append(d.Values, av.Val)
-			if av.Val.Kind == Number {
-				if d.Numbers == 0 || av.Val.Num < d.NumMin {
-					d.NumMin = av.Val.Num
-				}
-				if d.Numbers == 0 || av.Val.Num > d.NumMax {
-					d.NumMax = av.Val.Num
-				}
-				d.Numbers++
-			}
+			d.Numbers++
 		}
 	}
 	//lint:ignore detsource each domain's values are sorted independently; visit order cannot matter

@@ -54,6 +54,7 @@ func (g *Graph) scratch() *bfsScratch {
 // entries appear in BFS order. The returned slice is freshly allocated
 // and owned by the caller.
 func (g *Graph) Ball(v NodeID, maxHops int, dir Direction) []NodeDist {
+	g.ensure()
 	sc := g.scratch()
 	defer scratchPool.Put(sc)
 	out := make([]NodeDist, 0, 16)
@@ -68,7 +69,7 @@ func (g *Graph) Ball(v NodeID, maxHops int, dir Direction) []NodeDist {
 		for i := start; i < end; i++ {
 			u := out[i].V
 			if dir == Forward || dir == Both {
-				for _, e := range g.out[u] {
+				for _, e := range g.outEdges[g.outOff[u]:g.outOff[u+1]] {
 					if sc.seen[e.To] != sc.stamp {
 						sc.seen[e.To] = sc.stamp
 						out = append(out, NodeDist{V: e.To, D: d})
@@ -76,7 +77,7 @@ func (g *Graph) Ball(v NodeID, maxHops int, dir Direction) []NodeDist {
 				}
 			}
 			if dir == Backward || dir == Both {
-				for _, e := range g.in[u] {
+				for _, e := range g.inEdges[g.inOff[u]:g.inOff[u+1]] {
 					if sc.seen[e.To] != sc.stamp {
 						sc.seen[e.To] = sc.stamp
 						out = append(out, NodeDist{V: e.To, D: d})
@@ -99,6 +100,7 @@ func (g *Graph) Dist(from, to NodeID, maxHops int) int {
 	if maxHops <= 0 {
 		return Unreachable
 	}
+	g.ensure()
 	sc := g.scratch()
 	defer scratchPool.Put(sc)
 	queue := make([]NodeID, 0, 16)
@@ -111,7 +113,7 @@ func (g *Graph) Dist(from, to NodeID, maxHops int) int {
 			return Unreachable
 		}
 		for i := start; i < end; i++ {
-			for _, e := range g.out[queue[i]] {
+			for _, e := range g.outEdges[g.outOff[queue[i]]:g.outOff[queue[i]+1]] {
 				if sc.seen[e.To] == sc.stamp {
 					continue
 				}
@@ -141,32 +143,45 @@ func (g *Graph) eccentricity(v NodeID) (int, NodeID) {
 // edge-bound operator costs). The estimate is cached until the graph
 // mutates, and is at least 1 on nonempty graphs so cost normalization
 // never divides by zero.
+//
+// The BFS sweeps run outside lazyMu: Ball calls ensure, which takes the
+// same mutex when the graph is dirty, so holding it across the sweeps
+// would self-deadlock. Concurrent first callers may each compute the
+// estimate; every computation over the same (immutable-while-read)
+// graph yields the same value, so the racing stores agree.
 func (g *Graph) Diameter() int {
+	g.ensure()
 	g.lazyMu.Lock()
-	defer g.lazyMu.Unlock()
-	if g.diam >= 0 {
-		return g.diam
+	d := g.diam
+	g.lazyMu.Unlock()
+	if d >= 0 {
+		return d
 	}
 	n := g.NumNodes()
-	if n == 0 {
-		g.diam = 1
-		return 1
-	}
-	// Double sweep: BFS from a few arbitrary seeds, then from the
-	// farthest node each finds; the second sweep's eccentricity is the
-	// classic double-sweep lower bound (exact on trees).
 	best := 1
-	seeds := []NodeID{0, NodeID(n / 2), NodeID(n - 1)}
-	for _, s := range seeds {
-		e1, far := g.eccentricity(s)
-		if e1 > best {
-			best = e1
-		}
-		e2, _ := g.eccentricity(far)
-		if e2 > best {
-			best = e2
+	if n > 0 {
+		// Double sweep: BFS from a few arbitrary seeds, then from the
+		// farthest node each finds; the second sweep's eccentricity is
+		// the classic double-sweep lower bound (exact on trees).
+		seeds := []NodeID{0, NodeID(n / 2), NodeID(n - 1)}
+		for _, s := range seeds {
+			e1, far := g.eccentricity(s)
+			if e1 > best {
+				best = e1
+			}
+			e2, _ := g.eccentricity(far)
+			if e2 > best {
+				best = e2
+			}
 		}
 	}
-	g.diam = best
-	return best
+	g.lazyMu.Lock()
+	// Keep whichever estimate landed first unless a mutation reset the
+	// cache in between; all writers computed the same number anyway.
+	if g.diam < 0 {
+		g.diam = best
+	}
+	d = g.diam
+	g.lazyMu.Unlock()
+	return d
 }

@@ -1,14 +1,16 @@
 package graph
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
-// jsonNode / jsonEdge / jsonGraph define the on-disk JSON shape used by
-// the CLI tools. Attribute values are serialized as raw JSON scalars:
-// numbers stay numbers, everything else is a string.
+// jsonNode / jsonEdge define the on-disk JSON shape used by the CLI
+// tools. Attribute values are serialized as raw JSON scalars: numbers
+// stay numbers, everything else is a string.
 type jsonNode struct {
 	ID    int                        `json:"id"`
 	Label string                     `json:"label"`
@@ -21,21 +23,33 @@ type jsonEdge struct {
 	Label string `json:"label,omitempty"`
 }
 
-type jsonGraph struct {
-	Nodes []jsonNode `json:"nodes"`
-	Edges []jsonEdge `json:"edges"`
+// jsonMeta is the optional header WriteJSON emits first so ReadJSON can
+// pre-size every arena before the first element arrives. Hand-authored
+// files may omit it.
+type jsonMeta struct {
+	Nodes       int `json:"nodes"`
+	Edges       int `json:"edges"`
+	AttrEntries int `json:"attr_entries"`
 }
 
-// WriteJSON serializes the graph.
+// WriteJSON serializes the graph. Output is streamed — nodes and edges
+// are encoded one element at a time, so the writer's memory is O(1) in
+// the graph size — and deterministic (json.Marshal sorts map keys). A
+// "meta" header with exact element counts comes first so ReadJSON can
+// allocate the arenas up front.
 func (g *Graph) WriteJSON(w io.Writer) error {
-	jg := jsonGraph{
-		Nodes: make([]jsonNode, g.NumNodes()),
-		Edges: make([]jsonEdge, 0, g.NumEdges()),
+	sw := &stickyWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+	attrEntries := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		attrEntries += len(g.Tuple(NodeID(i)))
 	}
+	sw.str(fmt.Sprintf("{\n \"meta\": {\"nodes\": %d, \"edges\": %d, \"attr_entries\": %d},\n \"nodes\": [",
+		g.NumNodes(), g.NumEdges(), attrEntries))
 	for i := 0; i < g.NumNodes(); i++ {
 		v := NodeID(i)
-		attrs := make(map[string]json.RawMessage, len(g.Tuple(v)))
-		for _, av := range g.Tuple(v) {
+		tuple := g.Tuple(v)
+		attrs := make(map[string]json.RawMessage, len(tuple))
+		for _, av := range tuple {
 			var raw []byte
 			var err error
 			if av.Val.Kind == Number {
@@ -49,50 +63,209 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 			}
 			attrs[g.Attrs.Name(av.Attr)] = raw
 		}
-		jg.Nodes[i] = jsonNode{ID: i, Label: g.Label(v), Attrs: attrs}
-		for _, e := range g.Out(v) {
-			jg.Edges = append(jg.Edges, jsonEdge{
-				Src: i, Dst: int(e.To), Label: g.Labels.Name(e.Label),
-			})
+		enc, err := json.Marshal(jsonNode{ID: i, Label: g.Label(v), Attrs: attrs})
+		if err != nil {
+			return fmt.Errorf("graph: marshal node %d: %w", i, err)
+		}
+		if i > 0 {
+			sw.str(",")
+		}
+		sw.str("\n  ")
+		sw.raw(enc)
+	}
+	sw.str("\n ],\n \"edges\": [")
+	wrote := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, e := range g.Out(NodeID(i)) {
+			enc, err := json.Marshal(jsonEdge{Src: i, Dst: int(e.To), Label: g.Labels.Name(e.Label)})
+			if err != nil {
+				return fmt.Errorf("graph: marshal edge %d→%d: %w", i, e.To, err)
+			}
+			if wrote > 0 {
+				sw.str(",")
+			}
+			wrote++
+			sw.str("\n  ")
+			sw.raw(enc)
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(jg)
+	sw.str("\n ]\n}\n")
+	if sw.err != nil {
+		return fmt.Errorf("graph: write: %w", sw.err)
+	}
+	return sw.bw.Flush()
+}
+
+// stickyWriter wraps a bufio.Writer with first-error capture, so the
+// hot emit loop stays straight-line and the error surfaces once at the
+// end (bufio's own errors are sticky in the same way).
+type stickyWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+func (sw *stickyWriter) str(s string) {
+	if sw.err == nil {
+		_, sw.err = sw.bw.WriteString(s)
+	}
+}
+
+func (sw *stickyWriter) raw(b []byte) {
+	if sw.err == nil {
+		_, sw.err = sw.bw.Write(b)
+	}
 }
 
 // ReadJSON parses a graph previously written by WriteJSON (or authored
-// by hand in the same shape). Node ids must be 0..n-1.
+// by hand in the same shape). Node ids must be 0..n-1. The decode
+// streams: elements are consumed one json.Decoder token group at a time
+// instead of materializing the whole document, and when the optional
+// "meta" header is present the node/edge/attribute arenas are allocated
+// once, up front.
 func ReadJSON(r io.Reader) (*Graph, error) {
-	var jg jsonGraph
-	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+	dec := json.NewDecoder(r)
+	if err := expectDelim(dec, '{'); err != nil {
 		return nil, fmt.Errorf("graph: decode: %w", err)
 	}
 	g := New()
-	for i, n := range jg.Nodes {
-		if n.ID != i {
-			return nil, fmt.Errorf("graph: node ids must be dense 0..n-1, got %d at index %d", n.ID, i)
-		}
-		attrs := make(map[string]Value, len(n.Attrs))
-		for name, raw := range n.Attrs {
-			var num float64
-			if err := json.Unmarshal(raw, &num); err == nil {
-				attrs[name] = N(num)
-				continue
-			}
-			var s string
-			if err := json.Unmarshal(raw, &s); err != nil {
-				return nil, fmt.Errorf("graph: attr %q of node %d is neither number nor string", name, i)
-			}
-			attrs[name] = S(s)
-		}
-		g.AddNode(n.Label, attrs)
+	// Edges that arrive before the "nodes" section cannot be validated
+	// or label-interned yet (interning them early would permute label
+	// ids relative to the node-first order); buffer them.
+	type pendingEdge struct {
+		src, dst int
+		label    string
 	}
-	for _, e := range jg.Edges {
-		if e.Src < 0 || e.Src >= g.NumNodes() || e.Dst < 0 || e.Dst >= g.NumNodes() {
-			return nil, fmt.Errorf("graph: edge %d→%d out of range", e.Src, e.Dst)
+	var pending []pendingEdge
+	nodesSeen := false
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("graph: decode: %w", err)
 		}
-		g.AddEdge(NodeID(e.Src), NodeID(e.Dst), e.Label)
+		key, ok := tok.(string)
+		if !ok {
+			return nil, fmt.Errorf("graph: decode: unexpected token %v for object key", tok)
+		}
+		switch key {
+		case "meta":
+			var meta jsonMeta
+			if err := dec.Decode(&meta); err != nil {
+				return nil, fmt.Errorf("graph: decode meta: %w", err)
+			}
+			g.Reserve(meta.Nodes, meta.Edges, meta.AttrEntries)
+		case "nodes":
+			if err := readNodes(dec, g); err != nil {
+				return nil, err
+			}
+			nodesSeen = true
+		case "edges":
+			if err := expectDelim(dec, '['); err != nil {
+				return nil, fmt.Errorf("graph: decode edges: %w", err)
+			}
+			for dec.More() {
+				var e jsonEdge
+				if err := dec.Decode(&e); err != nil {
+					return nil, fmt.Errorf("graph: decode edge: %w", err)
+				}
+				if nodesSeen {
+					if err := addEdgeChecked(g, e.Src, e.Dst, e.Label); err != nil {
+						return nil, err
+					}
+				} else {
+					pending = append(pending, pendingEdge{e.Src, e.Dst, e.Label})
+				}
+			}
+			if err := expectDelim(dec, ']'); err != nil {
+				return nil, fmt.Errorf("graph: decode edges: %w", err)
+			}
+		default:
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return nil, fmt.Errorf("graph: decode %q: %w", key, err)
+			}
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	for _, e := range pending {
+		if err := addEdgeChecked(g, e.src, e.dst, e.label); err != nil {
+			return nil, err
+		}
 	}
 	return g, nil
+}
+
+// readNodes consumes the "nodes" array one element at a time.
+func readNodes(dec *json.Decoder, g *Graph) error {
+	if err := expectDelim(dec, '['); err != nil {
+		return fmt.Errorf("graph: decode nodes: %w", err)
+	}
+	var (
+		names []string    // scratch, reused across nodes
+		tuple []AttrValue // scratch, reused across nodes
+	)
+	for i := 0; dec.More(); i++ {
+		var n jsonNode
+		if err := dec.Decode(&n); err != nil {
+			return fmt.Errorf("graph: decode node: %w", err)
+		}
+		if n.ID != i {
+			return fmt.Errorf("graph: node ids must be dense 0..n-1, got %d at index %d", n.ID, i)
+		}
+		// Intern in sorted-name order — same id-assignment order as
+		// AddNode, so a streamed load is interner-identical to a
+		// DOM load of the same file.
+		names = names[:0]
+		for name := range n.Attrs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		tuple = tuple[:0]
+		for _, name := range names {
+			val, err := parseAttrScalar(n.Attrs[name])
+			if err != nil {
+				return fmt.Errorf("graph: attr %q of node %d is neither number nor string", name, i)
+			}
+			tuple = append(tuple, AttrValue{Attr: g.Attrs.Intern(name), Val: val})
+		}
+		g.AddNodeTuple(n.Label, tuple)
+	}
+	if err := expectDelim(dec, ']'); err != nil {
+		return fmt.Errorf("graph: decode nodes: %w", err)
+	}
+	return nil
+}
+
+// parseAttrScalar interprets one raw attribute value: numbers stay
+// numbers, strings stay strings, anything else is an error.
+func parseAttrScalar(raw json.RawMessage) (Value, error) {
+	var num float64
+	if err := json.Unmarshal(raw, &num); err == nil {
+		return N(num), nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return Value{}, err
+	}
+	return S(s), nil
+}
+
+func addEdgeChecked(g *Graph, src, dst int, label string) error {
+	if src < 0 || src >= g.NumNodes() || dst < 0 || dst >= g.NumNodes() {
+		return fmt.Errorf("graph: edge %d→%d out of range", src, dst)
+	}
+	g.AddEdge(NodeID(src), NodeID(dst), label)
+	return nil
+}
+
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("expected %q, got %v", want, tok)
+	}
+	return nil
 }

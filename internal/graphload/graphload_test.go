@@ -1,0 +1,130 @@
+package graphload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wqe/internal/datagen"
+	"wqe/internal/distindex"
+	"wqe/internal/graph"
+)
+
+// writeFixtures renders the Fig 1 graph in every on-disk format:
+// JSON, bare snapshot, and snapshot with embedded PLL labels.
+func writeFixtures(t *testing.T) (jsonPath, snapPath, pllPath string, g *graph.Graph) {
+	t.Helper()
+	g = datagen.NewFig1().G
+	dir := t.TempDir()
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath = filepath.Join(dir, "g.json")
+	if err := os.WriteFile(jsonPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	if err := g.WriteSnapshot(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	snapPath = filepath.Join(dir, "g.snap")
+	if err := os.WriteFile(snapPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	if err := g.WriteSnapshot(&buf, distindex.NewPLL(g).Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	pllPath = filepath.Join(dir, "g.pll.snap")
+	if err := os.WriteFile(pllPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return jsonPath, snapPath, pllPath, g
+}
+
+func TestOpenSniffsBothFormats(t *testing.T) {
+	jsonPath, snapPath, pllPath, g := writeFixtures(t)
+
+	jr, err := Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Source != SourceJSON || jr.SnapshotVersion != 0 || jr.PLLRestored() {
+		t.Fatalf("JSON load metadata: %+v", jr)
+	}
+	if jr.G.NumNodes() != g.NumNodes() || jr.G.NumEdges() != g.NumEdges() {
+		t.Fatalf("JSON load shape: %v, want %v", jr.G, g)
+	}
+
+	sr, err := Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Source != SourceSnapshot || sr.SnapshotVersion != graph.SnapshotVersion || sr.PLLRestored() {
+		t.Fatalf("snapshot load metadata: %+v", sr)
+	}
+	if sr.G.NumNodes() != g.NumNodes() || sr.G.NumEdges() != g.NumEdges() {
+		t.Fatalf("snapshot load shape: %v, want %v", sr.G, g)
+	}
+
+	pr, err := Open(pllPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.PLLRestored() {
+		t.Fatal("embedded PLL labels not restored")
+	}
+	// The restored oracle answers distances over the restored graph.
+	fresh := distindex.NewPLL(g)
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			got := pr.Index.Dist(graph.NodeID(u), graph.NodeID(v))
+			want := fresh.Dist(graph.NodeID(u), graph.NodeID(v))
+			if got != want {
+				t.Fatalf("restored Dist(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestOpenRejectsCorruptEmbeddedPLL(t *testing.T) {
+	g := datagen.NewFig1().G
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf, []byte("not a PLL blob, long enough to try")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "PLL") {
+		t.Fatalf("corrupt aux accepted: err=%v", err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	short := filepath.Join(dir, "short")
+	if err := os.WriteFile(short, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(short); err == nil {
+		t.Fatal("one-byte file accepted")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(empty); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}

@@ -46,24 +46,31 @@ type Cache struct {
 	ticks     atomic.Int64
 	size      atomic.Int64
 	evictions atomic.Int64
+	weight    atomic.Int64
+	rejects   atomic.Int64
 }
 
 // cacheShard is one stripe of the cache: an independent decaying map
 // with its own lock, logical clock, and singleflight table.
 type cacheShard struct {
-	// cap and decay are immutable after construction.
-	cap   int
-	decay float64
+	// cap, weightCap, and decay are immutable after construction.
+	// weightCap bounds the shard's total resident entry weight
+	// (StarTable.Size cells); 0 means count-capacity only.
+	cap       int
+	weightCap int
+	decay     float64
 
 	// mu guards every mutable field below.
 	mu       sync.Mutex
 	tick     int64                  // guarded by mu
+	weight   int64                  // guarded by mu; resident entry weight
 	entries  map[string]*cacheEntry // guarded by mu
 	inflight map[string]*flight     // guarded by mu
 }
 
 type cacheEntry struct {
 	table    *StarTable
+	weight   int64
 	hits     float64
 	lastTick int64
 }
@@ -111,6 +118,21 @@ func NewCache(capacity int, decay float64) *Cache {
 // the low shards; every shard holds at least one table, so the
 // effective total capacity is max(capacity, N).
 func NewCacheSharded(capacity int, decay float64, shards int) *Cache {
+	return NewCacheWeighted(capacity, decay, shards, 0)
+}
+
+// NewCacheWeighted is NewCacheSharded with a total weight budget on top
+// of the entry-count capacity. An entry's weight is its table's cell
+// count (StarTable.Size) — the actual memory driver — so one huge star
+// view cannot evict a shard's whole working set of small tables:
+// entries heavier than half a shard's budget are never admitted at all
+// (the build still returns its table to the caller; it just isn't
+// cached), and admitting a heavy entry evicts least-hit entries only
+// until the budget fits. weightBudget ≤ 0 disables weight accounting
+// (pure count capacity, the previous behavior). The budget splits
+// across shards like the count capacity does, with a floor of one
+// budget unit so no shard degrades to unlimited.
+func NewCacheWeighted(capacity int, decay float64, shards, weightBudget int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -120,12 +142,16 @@ func NewCacheSharded(capacity int, decay float64, shards int) *Cache {
 	if shards <= 0 {
 		shards = DefaultShards()
 	}
+	if weightBudget < 0 {
+		weightBudget = 0
+	}
 	shards = nextPow2(shards)
 	c := &Cache{
 		shards: make([]cacheShard, shards),
 		mask:   uint32(shards - 1),
 	}
 	base, rem := capacity/shards, capacity%shards
+	wbase, wrem := weightBudget/shards, weightBudget%shards
 	for i := range c.shards {
 		sc := base
 		if i < rem {
@@ -134,11 +160,19 @@ func NewCacheSharded(capacity int, decay float64, shards int) *Cache {
 		if sc < 1 {
 			sc = 1
 		}
+		wc := wbase
+		if i < wrem {
+			wc++
+		}
+		if weightBudget > 0 && wc < 1 {
+			wc = 1
+		}
 		c.shards[i] = cacheShard{
-			cap:      sc,
-			decay:    decay,
-			entries:  map[string]*cacheEntry{},
-			inflight: map[string]*flight{},
+			cap:       sc,
+			weightCap: wc,
+			decay:     decay,
+			entries:   map[string]*cacheEntry{},
+			inflight:  map[string]*flight{},
 		}
 	}
 	return c
@@ -297,41 +331,104 @@ func (c *Cache) Put(key string, t *StarTable) {
 }
 
 // putLocked inserts or refreshes an entry, evicting the shard's
-// least-hit entry when the shard is full. Equal hit counts tie-break on
-// the smallest key: the scan runs in map order, and without the
-// tie-break a full shard of equal-hit entries would evict a randomly
-// chosen one, making cache contents — and downstream hit/miss stats —
-// differ between identical runs. Eviction is deterministic per shard,
-// and the shard a key lives on is a pure function of the key, so
-// whole-cache contents are reproducible too. The caller must hold s.mu.
+// least-hit entries when the shard is over its count capacity or weight
+// budget. Equal hit counts tie-break on the smallest key: the scan runs
+// in map order, and without the tie-break a full shard of equal-hit
+// entries would evict a randomly chosen one, making cache contents —
+// and downstream hit/miss stats — differ between identical runs.
+// Eviction is deterministic per shard, and the shard a key lives on is
+// a pure function of the key, so whole-cache contents are reproducible
+// too. The caller must hold s.mu.
 func (s *cacheShard) putLocked(c *Cache, key string, t *StarTable) {
+	w := int64(t.Size())
+	oversized := s.weightCap > 0 && w > int64(s.weightCap)/2
 	if e, ok := s.entries[key]; ok {
+		if oversized {
+			// The refresh grew past the admission bound: a table this
+			// heavy is never resident, so drop the entry rather than
+			// letting one key hold most of the shard's budget.
+			s.removeLocked(c, key, e)
+			c.rejects.Add(1)
+			return
+		}
+		s.weight += w - e.weight
+		c.weight.Add(w - e.weight)
 		e.table = t
+		e.weight = w
 		s.bumpLocked(e)
+		s.shrinkToWeightLocked(c, key, 0)
+		return
+	}
+	if oversized {
+		// Weight-based admission: the build's caller keeps the table;
+		// the shard's working set of smaller tables stays resident.
+		c.rejects.Add(1)
 		return
 	}
 	if len(s.entries) >= s.cap {
-		worstKey := ""
-		worst := 0.0
-		first := true
-		//lint:ignore detsource eviction scans the whole shard map and tie-breaks on smallest key, so order cannot matter
-		for k, e := range s.entries {
-			switch {
-			case first:
-				worstKey, worst, first = k, e.hits, false
-			case e.hits < worst:
-				worstKey, worst = k, e.hits
-			case e.hits > worst:
-			case k < worstKey: // equal hits: smallest key loses
-				worstKey = k
-			}
-		}
-		delete(s.entries, worstKey)
-		c.size.Add(-1)
-		c.evictions.Add(1)
+		s.evictWorstLocked(c, "")
 	}
-	s.entries[key] = &cacheEntry{table: t, hits: 1, lastTick: s.tick}
+	s.shrinkToWeightLocked(c, "", w)
+	s.entries[key] = &cacheEntry{table: t, weight: w, hits: 1, lastTick: s.tick}
+	s.weight += w
+	c.weight.Add(w)
 	c.size.Add(1)
+}
+
+// shrinkToWeightLocked evicts least-hit entries (never `keep`) until the
+// shard's resident weight plus incoming fits the weight budget. A no-op
+// when weight accounting is off. The caller must hold s.mu.
+func (s *cacheShard) shrinkToWeightLocked(c *Cache, keep string, incoming int64) {
+	if s.weightCap == 0 {
+		return
+	}
+	// Terminates: every admitted entry (and the incoming one) weighs at
+	// most half the budget, and evictWorstLocked reports false once
+	// nothing evictable remains.
+	for s.weight+incoming > int64(s.weightCap) {
+		if !s.evictWorstLocked(c, keep) {
+			return
+		}
+	}
+}
+
+// evictWorstLocked evicts the least-hit entry, skipping `exclude`;
+// reports whether anything was evicted. Ties break on the smallest key
+// so the choice is deterministic. The caller must hold s.mu.
+func (s *cacheShard) evictWorstLocked(c *Cache, exclude string) bool {
+	worstKey := ""
+	worst := 0.0
+	first := true
+	//lint:ignore detsource eviction scans the whole shard map and tie-breaks on smallest key, so order cannot matter
+	for k, e := range s.entries {
+		if k == exclude {
+			continue
+		}
+		switch {
+		case first:
+			worstKey, worst, first = k, e.hits, false
+		case e.hits < worst:
+			worstKey, worst = k, e.hits
+		case e.hits > worst:
+		case k < worstKey: // equal hits: smallest key loses
+			worstKey = k
+		}
+	}
+	if first {
+		return false
+	}
+	s.removeLocked(c, worstKey, s.entries[worstKey])
+	c.evictions.Add(1)
+	return true
+}
+
+// removeLocked deletes one resident entry and settles the weight and
+// size accounting. The caller must hold s.mu.
+func (s *cacheShard) removeLocked(c *Cache, key string, e *cacheEntry) {
+	delete(s.entries, key)
+	s.weight -= e.weight
+	c.weight.Add(-e.weight)
+	c.size.Add(-1)
 }
 
 // Len returns the number of cached tables, from the atomic size
@@ -366,6 +463,12 @@ type CacheCounters struct {
 	Ticks     int64 `json:"ticks"`
 	Size      int64 `json:"size"`
 	Evictions int64 `json:"evictions"`
+	// Weight is the current resident entry weight (StarTable.Size cells
+	// across all shards); AdmissionRejects counts tables denied
+	// residency by weight-based admission. Both stay zero when the
+	// cache runs without a weight budget.
+	Weight           int64 `json:"weight"`
+	AdmissionRejects int64 `json:"admission_rejects"`
 }
 
 // Counters snapshots every cache counter without taking a shard lock.
@@ -375,10 +478,17 @@ type CacheCounters struct {
 // another snapshot taken mid-flight.
 func (c *Cache) Counters() CacheCounters {
 	return CacheCounters{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Ticks:     c.ticks.Load(),
-		Size:      c.size.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Ticks:            c.ticks.Load(),
+		Size:             c.size.Load(),
+		Evictions:        c.evictions.Load(),
+		Weight:           c.weight.Load(),
+		AdmissionRejects: c.rejects.Load(),
 	}
 }
+
+// Weight returns the resident entry weight across all shards, from the
+// atomic counter — it never takes a shard lock. Always zero without a
+// weight budget.
+func (c *Cache) Weight() int64 { return c.weight.Load() }

@@ -1,0 +1,108 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+)
+
+// tableOfSize builds a star table whose Size() is exactly w cells.
+func tableOfSize(w int) *StarTable {
+	return &StarTable{Rows: make([]StarRow, w)}
+}
+
+func TestWeightAdmissionRejectsOversized(t *testing.T) {
+	c := NewCacheWeighted(8, 0.95, 1, 10) // one shard, budget 10, admit ≤ 5
+	c.Put("huge", tableOfSize(6))
+	if c.Len() != 0 || c.Weight() != 0 {
+		t.Fatalf("oversized table admitted: len=%d weight=%d", c.Len(), c.Weight())
+	}
+	if got := c.Counters().AdmissionRejects; got != 1 {
+		t.Fatalf("AdmissionRejects = %d, want 1", got)
+	}
+	// The boundary case is admitted: weight 5 = budget/2.
+	c.Put("edge", tableOfSize(5))
+	if c.Len() != 1 || c.Weight() != 5 {
+		t.Fatalf("half-budget table not admitted: len=%d weight=%d", c.Len(), c.Weight())
+	}
+}
+
+func TestWeightAdmissionBuildStillReturnsTable(t *testing.T) {
+	c := NewCacheWeighted(8, 0.95, 1, 10)
+	builds := 0
+	build := func() *StarTable { builds++; return tableOfSize(7) }
+	if got := c.GetOrBuild("huge", build); got == nil || got.Size() != 7 {
+		t.Fatalf("GetOrBuild must return the built table even when not admitted")
+	}
+	// Not resident: a second call builds again.
+	if got := c.GetOrBuild("huge", build); got == nil || builds != 2 {
+		t.Fatalf("oversized table should not be resident (builds=%d)", builds)
+	}
+}
+
+// TestWeightEvictionDeterministic pins the weight-pressure eviction
+// order: equal-hit entries fall smallest-key-first until the incoming
+// entry fits, and a re-run of the same sequence reproduces the same
+// resident set.
+func TestWeightEvictionDeterministic(t *testing.T) {
+	run := func() []string {
+		c := NewCacheWeighted(64, 0.95, 1, 10)
+		for _, k := range []string{"e", "c", "a", "d", "b"} {
+			c.Put(k, tableOfSize(2)) // fills the budget exactly
+		}
+		if c.Weight() != 10 || c.Len() != 5 {
+			t.Fatalf("setup: weight=%d len=%d", c.Weight(), c.Len())
+		}
+		c.Put("f", tableOfSize(4)) // needs 4 cells freed → two evictions
+		var resident []string
+		for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+			if c.Get(k) != nil {
+				resident = append(resident, k)
+			}
+		}
+		return resident
+	}
+	first := run()
+	// All entries entered with one hit; "a" and "b" are the smallest
+	// keys, so they are the deterministic victims.
+	want := []string{"c", "d", "e", "f"}
+	if fmt.Sprint(first) != fmt.Sprint(want) {
+		t.Fatalf("resident after weight eviction = %v, want %v", first, want)
+	}
+	if second := run(); fmt.Sprint(second) != fmt.Sprint(first) {
+		t.Fatalf("weight eviction not reproducible: %v vs %v", second, first)
+	}
+}
+
+func TestWeightRefreshAccounting(t *testing.T) {
+	c := NewCacheWeighted(8, 0.95, 1, 10)
+	c.Put("k", tableOfSize(2))
+	c.Put("k", tableOfSize(4)) // refresh grows the entry
+	if c.Len() != 1 || c.Weight() != 4 {
+		t.Fatalf("after refresh: len=%d weight=%d, want 1/4", c.Len(), c.Weight())
+	}
+	c.Put("k", tableOfSize(6)) // refresh past the admission bound
+	if c.Len() != 0 || c.Weight() != 0 {
+		t.Fatalf("oversized refresh kept resident: len=%d weight=%d", c.Len(), c.Weight())
+	}
+	if got := c.Counters().AdmissionRejects; got != 1 {
+		t.Fatalf("AdmissionRejects = %d, want 1", got)
+	}
+}
+
+// TestWeightDisabledKeepsCountSemantics: the default weightBudget=0
+// path must behave exactly like the unweighted cache (existing callers
+// and tests rely on it).
+func TestWeightDisabledKeepsCountSemantics(t *testing.T) {
+	c := NewCacheSharded(2, 0.95, 1)
+	c.Put("a", tableOfSize(1000))
+	c.Put("b", tableOfSize(1000))
+	if c.Len() != 2 {
+		t.Fatalf("unweighted cache evicted on weight: len=%d", c.Len())
+	}
+	if w := c.Weight(); w != 2000 {
+		t.Fatalf("Weight() = %d, want 2000 (accounting still tracked)", w)
+	}
+	if got := c.Counters().AdmissionRejects; got != 0 {
+		t.Fatalf("AdmissionRejects = %d without a budget", got)
+	}
+}
