@@ -10,9 +10,9 @@ GO ?= go
 # cmd/wqe-datagen is deliberately absent: it spawns no goroutines of
 # its own (the parallel PLL build it calls is raced via
 # internal/distindex), so racing it would only slow CI down.
-RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par ./internal/distindex ./cmd/wqe-serve
+RACE_PKGS = ./internal/graph ./internal/match ./internal/chase ./internal/par ./internal/distindex ./internal/anscache ./internal/hist ./internal/loadgen ./cmd/wqe-serve
 
-.PHONY: all build vet fmt-check test race lint callgraph lockorder check-cfg check-lockorder check serve-smoke fuzz-snapshot bench-parallel bench-batch bench-shard bench-load ci
+.PHONY: all build vet fmt-check test race lint callgraph lockorder check-cfg check-lockorder check serve-smoke fuzz-snapshot bench-parallel bench-batch bench-shard bench-load bench-serve ci
 
 all: build
 
@@ -101,4 +101,11 @@ bench-shard:
 bench-load:
 	WQE_LOAD_BENCH_JSON=$(abspath BENCH_load.json) $(GO) test ./internal/chase -run TestEmitLoadBench -timeout 1800s -v
 
-ci: check fuzz-snapshot bench-parallel bench-batch bench-shard bench-load
+# Regenerate BENCH_serve.json: closed-loop serving throughput over the
+# repeated-question Fig 1 workload with the answer cache off vs on
+# (byte-identical responses asserted), per-endpoint latency
+# percentiles, and the answer-cache hit/coalesce counters.
+bench-serve:
+	WQE_SERVE_BENCH_JSON=$(abspath BENCH_serve.json) $(GO) test ./cmd/wqe-serve -run TestEmitServeBench -v
+
+ci: check fuzz-snapshot bench-parallel bench-batch bench-shard bench-load bench-serve

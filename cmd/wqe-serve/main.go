@@ -33,6 +33,13 @@
 // disconnected client cancels its chase mid-beam within one claim
 // iteration, and SIGINT/SIGTERM drains gracefully — no new job starts,
 // every in-flight job finishes and is answered.
+//
+// The answer memo (-answer-cache, on by default) serves repeated
+// questions from cache and coalesces identical concurrent requests onto
+// one chase; memoized chases run detached from request deadlines, so a
+// deadline-limited request served from the memo receives the complete
+// answer rather than a best-so-far cut. /stats reports hit/miss/
+// coalesced counters per graph and per-endpoint latency percentiles.
 package main
 
 import (
@@ -80,6 +87,7 @@ func run(args []string) int {
 		maxBound    = fs.Int("maxbound", 3, "edge bound cap b_m")
 		workers     = fs.Int("workers", 0, "per-question evaluation workers (0 = one per logical CPU)")
 		cacheShards = fs.Int("cache-shards", 0, "star-view cache lock stripes (0 = auto)")
+		answerCache = fs.Int("answer-cache", 4096, "answer memo capacity in entries: identical requests are served from cache and identical concurrent requests coalesce onto one chase (0 disables)")
 		smoke       = fs.Bool("smoke", false, "start on an ephemeral port, exercise every endpoint against the fixture graph, verify /stats, drain, and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -93,6 +101,8 @@ func run(args []string) int {
 	cfg.MaxBound = *maxBound
 	cfg.Workers = *workers
 	cfg.CacheShards = *cacheShards
+	cfg.AnswerCache = *answerCache > 0
+	cfg.AnswerCacheCap = *answerCache
 
 	if *smoke {
 		if err := runSmoke(cfg, *slots, *queueCap); err != nil {

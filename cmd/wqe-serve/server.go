@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,8 +15,13 @@ import (
 	"wqe/internal/chase"
 	"wqe/internal/exemplar"
 	"wqe/internal/graph"
+	"wqe/internal/hist"
 	"wqe/internal/query"
 )
+
+// askEndpoints are the serving endpoints whose latency /stats reports;
+// the order is the stable /stats rendering order.
+var askEndpoints = []string{"/ask", "/askall", "/askfast", "/why", "/whyempty", "/whymany"}
 
 // statusClientGone is the non-standard status (nginx's 499) recorded
 // when a request's client disconnected while the job waited for a
@@ -188,6 +194,10 @@ type server struct {
 	// into the queue), so queue wait counts against it.
 	timeout time.Duration
 	stats   serverStats
+	// lat holds one latency histogram per serving endpoint (the
+	// askEndpoints set), recording the full request wall time — queue
+	// wait included, since that is what a client observes.
+	lat map[string]*hist.Hist
 }
 
 func newServer(handles []*graphHandle, maxRun, maxQueue int, timeout time.Duration) *server {
@@ -196,6 +206,10 @@ func newServer(handles []*graphHandle, maxRun, maxQueue int, timeout time.Durati
 		queue:   newAdmission(maxRun, maxQueue),
 		clock:   time.Now,
 		timeout: timeout,
+		lat:     map[string]*hist.Hist{},
+	}
+	for _, ep := range askEndpoints {
+		s.lat[ep] = &hist.Hist{}
 	}
 	s.started = s.clock()
 	for _, h := range handles {
@@ -213,13 +227,24 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("GET /healthz", s.handleHealthz)
 	m.HandleFunc("GET /graphs", s.handleGraphs)
 	m.HandleFunc("GET /stats", s.handleStats)
-	m.HandleFunc("POST /ask", s.askHandler("", false))
-	m.HandleFunc("POST /askfast", s.askHandler("heu", false))
-	m.HandleFunc("POST /why", s.askHandler("answ", true))
-	m.HandleFunc("POST /whyempty", s.askHandler("whyempty", true))
-	m.HandleFunc("POST /whymany", s.askHandler("whymany", true))
-	m.HandleFunc("POST /askall", s.handleAskAll)
+	m.HandleFunc("POST /ask", s.timed("/ask", s.askHandler("", false)))
+	m.HandleFunc("POST /askfast", s.timed("/askfast", s.askHandler("heu", false)))
+	m.HandleFunc("POST /why", s.timed("/why", s.askHandler("answ", true)))
+	m.HandleFunc("POST /whyempty", s.timed("/whyempty", s.askHandler("whyempty", true)))
+	m.HandleFunc("POST /whymany", s.timed("/whymany", s.askHandler("whymany", true)))
+	m.HandleFunc("POST /askall", s.timed("/askall", s.handleAskAll))
 	return m
+}
+
+// timed wraps a serving handler to record its wall-clock latency into
+// the endpoint's histogram. Every outcome counts — rejections and bad
+// requests included — because the histogram reports what clients see.
+func (s *server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		start := s.clock()
+		h(rw, r)
+		s.lat[endpoint].Observe(s.clock().Sub(start))
+	}
 }
 
 // askRequest is the payload of every single-question endpoint. Query
@@ -520,6 +545,35 @@ type statsResponse struct {
 	Queue    queueStatsJSON            `json:"queue"`
 	Requests requestStatsJSON          `json:"requests"`
 	Graphs   map[string]graphStatsJSON `json:"graphs"`
+	// Endpoints reports per-endpoint request latency (count, quantile
+	// upper bounds in ms) from the same power-of-two histogram the load
+	// generator uses, so server-side and client-side percentiles are
+	// directly comparable.
+	Endpoints map[string]endpointStatsJSON `json:"endpoints"`
+}
+
+// endpointStatsJSON is one endpoint's latency summary. The quantiles
+// are upper bounds (power-of-two bucket edges) clamped to the observed
+// max; see internal/hist.
+type endpointStatsJSON struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// endpointStats renders one histogram snapshot.
+func endpointStats(h *hist.Hist) endpointStatsJSON {
+	s := h.Snapshot()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return endpointStatsJSON{
+		Count: s.Count(),
+		P50MS: ms(s.Quantile(0.50)),
+		P95MS: ms(s.Quantile(0.95)),
+		P99MS: ms(s.Quantile(0.99)),
+		MaxMS: ms(s.Max()),
+	}
 }
 
 // graphStatsJSON is one resident graph's /stats entry: size and load
@@ -576,7 +630,11 @@ func (s *server) handleStats(rw http.ResponseWriter, r *http.Request) {
 			JobErrors:     s.stats.jobErrors.Load(),
 			WriteErrors:   s.stats.writeErrs.Load(),
 		},
-		Graphs: map[string]graphStatsJSON{},
+		Graphs:    map[string]graphStatsJSON{},
+		Endpoints: map[string]endpointStatsJSON{},
+	}
+	for _, ep := range askEndpoints {
+		out.Endpoints[ep] = endpointStats(s.lat[ep])
 	}
 	for _, name := range s.names {
 		h := s.graphs[name]
@@ -619,32 +677,54 @@ func (s *server) badRequestf(rw http.ResponseWriter, format string, args ...inte
 
 // writeError emits a JSON error envelope.
 func (s *server) writeError(rw http.ResponseWriter, status int, msg string) {
-	rw.Header().Set("Content-Type", "application/json")
-	rw.WriteHeader(status)
-	s.write(rw, mustJSON(map[string]string{"error": msg}))
+	s.respond(rw, status, map[string]string{"error": msg})
 }
 
 // writeJSON emits a 200 JSON response.
 func (s *server) writeJSON(rw http.ResponseWriter, v interface{}) {
-	rw.Header().Set("Content-Type", "application/json")
-	s.write(rw, mustJSON(v))
+	s.respond(rw, http.StatusOK, v)
 }
 
-// write sends the rendered body; a failed write means the client
-// vanished mid-response, which is only worth counting.
-func (s *server) write(rw http.ResponseWriter, body []byte) {
-	if _, err := rw.Write(body); err != nil {
+// jsonBuf pairs a reusable buffer with an encoder bound to it, so the
+// serving hot path allocates neither a marshal output slice nor an
+// encoder per response.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonBufs = sync.Pool{New: func() interface{} {
+	jb := &jsonBuf{}
+	jb.enc = json.NewEncoder(&jb.buf)
+	return jb
+}}
+
+// jsonContentType is the shared Content-Type header value, assigned
+// directly (keys already canonical) so the hot path skips Set's
+// per-response slice allocation. net/http only reads header values.
+var jsonContentType = []string{"application/json"}
+
+// respond renders v into a pooled buffer and sends it with an exact
+// Content-Length. Encoder.Encode appends a trailing newline, preserving
+// the body bytes of the old Marshal-plus-newline path. An encode
+// failure is effectively dead code (every value the server encodes is a
+// plain struct/map of encodable fields) but stays handled. A failed
+// write means the client vanished mid-response, only worth counting.
+func (s *server) respond(rw http.ResponseWriter, status int, v interface{}) {
+	jb := jsonBufs.Get().(*jsonBuf)
+	defer jsonBufs.Put(jb)
+	jb.buf.Reset()
+	if err := jb.enc.Encode(v); err != nil {
+		jb.buf.Reset()
+		jb.buf.WriteString("{\"error\":\"encode response\"}\n")
+	}
+	h := rw.Header()
+	h["Content-Type"] = jsonContentType
+	h["Content-Length"] = []string{strconv.Itoa(jb.buf.Len())}
+	if status != http.StatusOK {
+		rw.WriteHeader(status)
+	}
+	if _, err := rw.Write(jb.buf.Bytes()); err != nil {
 		s.stats.writeErrs.Add(1)
 	}
-}
-
-// mustJSON renders v, falling back to an error envelope — every value
-// the server encodes is a plain struct/map of encodable fields, so the
-// fallback is effectively dead code that keeps the error handled.
-func mustJSON(v interface{}) []byte {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return []byte(`{"error":"encode response"}`)
-	}
-	return append(b, '\n')
 }

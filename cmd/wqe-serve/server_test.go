@@ -254,11 +254,15 @@ func TestDrainStress(t *testing.T) {
 }
 
 // TestSmokeEndToEnd runs the -smoke self-exercise, covering every
-// endpoint, the /stats accounting, and the drain handshake in one go.
+// endpoint, the /stats accounting, and the drain handshake in one go —
+// once per answer-cache mode, since the exact accounting differs.
 func TestSmokeEndToEnd(t *testing.T) {
-	cfg := chase.DefaultConfig()
-	if err := runSmoke(cfg, 2, 8); err != nil {
-		t.Fatalf("smoke: %v", err)
+	for _, on := range []bool{false, true} {
+		cfg := chase.DefaultConfig()
+		cfg.AnswerCache = on
+		if err := runSmoke(cfg, 2, 8); err != nil {
+			t.Fatalf("smoke (answer cache %v): %v", on, err)
+		}
 	}
 }
 

@@ -12,38 +12,15 @@ import (
 
 	"wqe/internal/chase"
 	"wqe/internal/datagen"
+	"wqe/internal/loadgen"
 	"wqe/internal/par"
 )
 
-// The Fig 1 cellphone fixture, inlined so -smoke runs from any
-// directory: the paper's example query (cellphones ≥ $840 with ≥ 4GB
-// RAM, sold by a carrier, with a sensor within 2 hops) and the exemplar
-// preferring 6.2"/6.3" phones under $800.
+// The Fig 1 cellphone fixture, shared with wqe-loadgen and the serving
+// benchmark so every serving-path tool exercises the same question.
 const (
-	smokeQueryJSON = `{
-	 "focus": 0,
-	 "nodes": [
-	  {"label": "Cellphone", "literals": [
-	   {"attr": "Price", "op": ">=", "value": 840},
-	   {"attr": "RAM", "op": ">=", "value": 4}]},
-	  {"label": "Carrier"},
-	  {"label": "Sensor"}
-	 ],
-	 "edges": [
-	  {"from": 1, "to": 0, "bound": 1},
-	  {"from": 0, "to": 2, "bound": 2}
-	 ]
-	}`
-	smokeExemplarJSON = `{
-	 "tuples": [
-	  {"Display": {"const": 6.2}, "Price": {"wildcard": true}, "Storage": {"var": "x1"}},
-	  {"Display": {"const": 6.3}, "Price": {"var": "x3"}, "Storage": {"var": "x2"}}
-	 ],
-	 "constraints": [
-	  {"left": "x3", "op": "<", "const": 800},
-	  {"left": "x1", "op": ">", "right": "x2"}
-	 ]
-	}`
+	smokeQueryJSON    = loadgen.Fig1QueryJSON
+	smokeExemplarJSON = loadgen.Fig1ExemplarJSON
 )
 
 // runSmoke starts a real server on an ephemeral port, exercises every
@@ -72,7 +49,7 @@ func runSmoke(cfg chase.Config, slots, queueCap int) error {
 	base := "http://" + ln.Addr().String()
 	fmt.Println("wqe-serve: smoke: listening on", base)
 
-	smokeErr := smokeExercise(base)
+	smokeErr := smokeExercise(base, cfg.AnswerCache)
 
 	// Drain first: the listener is still up, so new admissions must now
 	// be rejected with 503 — probe that before shutting the listener
@@ -121,7 +98,10 @@ func smokeAskBody(algo string) []byte {
 }
 
 // smokeExercise drives every endpoint once and checks the outcomes.
-func smokeExercise(base string) error {
+// answerCache says whether the session memoizes answers, which changes
+// the exact /stats accounting: the 9 memo-eligible jobs collapse onto 4
+// distinct chases when it is on.
+func smokeExercise(base string, answerCache bool) error {
 	// Liveness and residency.
 	var health map[string]string
 	if err := smokeGet(base+"/healthz", &health); err != nil {
@@ -217,11 +197,34 @@ func smokeExercise(base string) error {
 	if sc.Source != "builtin" || sc.SnapshotVersion != 0 || sc.PLLRestored {
 		return fmt.Errorf("/stats residency provenance: %+v", sc)
 	}
-	if sc.Questions != 9 {
-		return fmt.Errorf("/stats questions = %d, want 9", sc.Questions)
+	// 9 memo-eligible jobs were served (6 single questions + 3 batch
+	// jobs). With the answer memo on they collapse onto 4 distinct
+	// chases (ask/why/askall-answ share one key, askfast/askall-heu
+	// another) and the memo counters must balance exactly; off, every
+	// job chases and the memo counters stay flat.
+	ac := sc.AnswerCache
+	const memoJobs = 9
+	if answerCache {
+		if sc.Questions != 4 {
+			return fmt.Errorf("/stats questions = %d, want 4 distinct chases with the answer cache on", sc.Questions)
+		}
+		if ac.Hits+ac.Misses+ac.Coalesced != memoJobs {
+			return fmt.Errorf("answer cache hits+misses+coalesced = %d+%d+%d, want %d jobs served",
+				ac.Hits, ac.Misses, ac.Coalesced, memoJobs)
+		}
+		if ac.Misses != 4 || ac.Hits != 5 || ac.Coalesced != 0 || ac.Size != 4 {
+			return fmt.Errorf("answer cache counters: %+v, want 4 misses / 5 hits / 4 resident", ac)
+		}
+	} else {
+		if sc.Questions != memoJobs {
+			return fmt.Errorf("/stats questions = %d, want %d", sc.Questions, memoJobs)
+		}
+		if ac.Hits != 0 || ac.Misses != 0 || ac.Coalesced != 0 || ac.Size != 0 {
+			return fmt.Errorf("answer cache counters with memo off: %+v, want all zero", ac)
+		}
 	}
-	if sc.Steps < 9 {
-		return fmt.Errorf("/stats steps = %d, want ≥ 9", sc.Steps)
+	if sc.Steps < int64(sc.Questions) {
+		return fmt.Errorf("/stats steps = %d, want ≥ %d", sc.Steps, sc.Questions)
 	}
 	if sc.Cache.Hits == 0 || sc.Cache.Size == 0 {
 		return fmt.Errorf("/stats cache counters flat: %+v", sc.Cache)
@@ -229,8 +232,29 @@ func smokeExercise(base string) error {
 	if stats.Requests.BadRequest != 2 || stats.Requests.RejectedFull != 0 {
 		return fmt.Errorf("/stats requests: %+v", stats.Requests)
 	}
-	fmt.Printf("wqe-serve: smoke: /stats ok (%d questions, %d steps, cache %d/%d hit/miss, %d evictions)\n",
-		sc.Questions, sc.Steps, sc.Cache.Hits, sc.Cache.Misses, sc.Cache.Evictions)
+
+	// Per-endpoint latency histograms: every serving endpoint reports
+	// the exact request count it saw (the two 400s count on /ask — a
+	// rejection is still latency a client observed) with ordered,
+	// max-clamped quantiles.
+	wantCounts := map[string]int64{
+		"/ask": 3, "/askfast": 1, "/why": 2, "/whyempty": 1, "/whymany": 1, "/askall": 1,
+	}
+	for _, ep := range askEndpoints {
+		e, ok := stats.Endpoints[ep]
+		if !ok {
+			return fmt.Errorf("/stats endpoints missing %s: %+v", ep, stats.Endpoints)
+		}
+		if e.Count != wantCounts[ep] {
+			return fmt.Errorf("/stats %s count = %d, want %d", ep, e.Count, wantCounts[ep])
+		}
+		if e.P50MS <= 0 || e.P50MS > e.P95MS || e.P95MS > e.P99MS || e.P99MS > e.MaxMS {
+			return fmt.Errorf("/stats %s quantiles out of order: %+v", ep, e)
+		}
+	}
+
+	fmt.Printf("wqe-serve: smoke: /stats ok (%d questions, %d steps, star cache %d/%d hit/miss, answer cache %d/%d/%d hit/miss/coalesced)\n",
+		sc.Questions, sc.Steps, sc.Cache.Hits, sc.Cache.Misses, ac.Hits, ac.Misses, ac.Coalesced)
 	return nil
 }
 

@@ -1,0 +1,376 @@
+// Package anscache is the serving-path answer memo: a bounded,
+// sharded-stripe cache with singleflight request coalescing, keyed by a
+// caller-supplied canonical digest. Production why-question traffic is
+// highly repetitive — the same exemplar pairs get asked against the
+// same resident graph — so the single biggest serving win is to stop
+// recomputing identical chases: N concurrent identical requests execute
+// exactly one compute and all receive the same value, and finished
+// answers stay resident for later identical requests.
+//
+// The synchronization discipline is inherited from the star-view cache
+// in internal/match: keys hash (FNV-1a) onto a power-of-two number of
+// shards, each shard owns its own mutex, logical tick clock, entry map,
+// and in-flight singleflight table, eviction removes the least-hit
+// entry of the full shard with ties broken on the smallest key (fully
+// deterministic), and a panicking compute never wedges its waiters —
+// the failed flight wakes them and the first retrier becomes the new
+// owner, so waiters only ever inherit a panic from their own compute
+// attempt.
+//
+// Statistics live in atomic counters (hits, misses, coalesced waits,
+// evictions, size, invalidations) so snapshots never take a shard lock.
+package anscache
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxDecayAge caps the closed-form hit-decay exponent exactly as the
+// star-view cache does: past it, decay^age underflows any meaningful
+// hit mass, so the count flushes outright.
+const maxDecayAge = 1 << 12
+
+// decay is the per-tick hit decay factor. Matching internal/match's
+// default keeps the two caches' eviction temperament identical.
+const decay = 0.95
+
+// Outcome classifies one GetOrCompute call.
+type Outcome uint8
+
+// GetOrCompute outcomes.
+const (
+	// Hit: the value was resident; no compute ran.
+	Hit Outcome = iota
+	// Miss: this caller ran the compute (and possibly stored the value).
+	Miss
+	// Coalesced: an identical request was already in flight; this caller
+	// waited on it and shares its value — no second compute ran.
+	Coalesced
+)
+
+// Cache is a sharded answer memo holding values of type V. V should be
+// treated as immutable once stored: every hit and every coalesced
+// waiter receives the same value.
+type Cache[V any] struct {
+	// shards has power-of-two length; mask == len(shards)-1.
+	shards []shard[V]
+	mask   uint32
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	coalesced     atomic.Int64
+	evictions     atomic.Int64
+	size          atomic.Int64
+	invalidations atomic.Int64
+}
+
+// shard is one stripe: an independent decaying map with its own lock,
+// logical clock, generation counter, and singleflight table.
+type shard[V any] struct {
+	cap int // immutable after construction
+
+	// mu guards every mutable field below.
+	mu       sync.Mutex
+	tick     int64                // guarded by mu
+	gen      int64                // guarded by mu; bumped by InvalidateAll
+	entries  map[string]*entry[V] // guarded by mu
+	inflight map[string]*flight[V]
+}
+
+type entry[V any] struct {
+	val      V
+	hits     float64
+	lastTick int64
+}
+
+// flight is one in-progress compute other callers can wait on. val and
+// failed are written exactly once, before done is closed; waiters read
+// them only after <-done, so the handoff is race-free without a lock.
+// failed marks a compute that panicked: its waiters must not trust val
+// and instead retry with a fresh flight.
+type flight[V any] struct {
+	done   chan struct{}
+	val    V
+	failed bool
+}
+
+// defaultShards mirrors match.DefaultShards: nextPow2(4×GOMAXPROCS).
+func defaultShards() int {
+	return nextPow2(4 * runtime.GOMAXPROCS(0))
+}
+
+// nextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New returns a cache holding at most capacity values, striped over
+// shards stripes (0 means auto: nextPow2(4×GOMAXPROCS); other values
+// round up to a power of two). Capacity splits as capacity/N per shard
+// with the remainder to the low shards, floor one entry per shard, so
+// the effective total capacity is max(capacity, N).
+func New[V any](capacity, shards int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if shards <= 0 {
+		shards = defaultShards()
+	}
+	shards = nextPow2(shards)
+	c := &Cache[V]{
+		shards: make([]shard[V], shards),
+		mask:   uint32(shards - 1),
+	}
+	base, rem := capacity/shards, capacity%shards
+	for i := range c.shards {
+		sc := base
+		if i < rem {
+			sc++
+		}
+		if sc < 1 {
+			sc = 1
+		}
+		c.shards[i] = shard[V]{
+			cap:      sc,
+			entries:  map[string]*entry[V]{},
+			inflight: map[string]*flight[V]{},
+		}
+	}
+	return c
+}
+
+// Shards returns the cache's shard count (a power of two).
+func (c *Cache[V]) Shards() int { return len(c.shards) }
+
+// Len returns the number of resident values, from the atomic size
+// counter — it never takes a shard lock.
+func (c *Cache[V]) Len() int { return int(c.size.Load()) }
+
+// shardFor maps a key onto its owning shard with inlined 32-bit FNV-1a
+// (the hash/fnv wrapper would allocate a hasher per lookup).
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &c.shards[h&c.mask]
+}
+
+// lookupState is the locked phase's verdict.
+type lookupState uint8
+
+const (
+	lookupHit lookupState = iota
+	lookupWait
+	lookupOwner
+)
+
+// GetOrCompute returns the value for key, running compute on a miss.
+// Concurrent callers missing on the same key share one compute: the
+// first caller runs it (outside any cache lock), the rest block until
+// it finishes and return the same value with Outcome Coalesced.
+// compute's second return value says whether the result should be
+// stored (false keeps it a pure pass-through — e.g. an errored answer
+// is still delivered to every coalesced waiter but never memoized).
+//
+// A panicking compute does not poison the key: the failed flight wakes
+// its waiters, which race for a fresh flight (the first retrier becomes
+// the new owner), while the panic continues to the compute's own
+// caller. Exactly one of the three outcomes is counted per call.
+func (c *Cache[V]) GetOrCompute(key string, compute func() (V, bool)) (V, Outcome) {
+	s := c.shardFor(key)
+	for {
+		v, f, gen, state := s.lookup(key)
+		switch state {
+		case lookupHit:
+			c.hits.Add(1)
+			return v, Hit
+		case lookupOwner:
+			c.misses.Add(1)
+			return s.runFlight(c, key, gen, f, compute), Miss
+		default:
+			<-f.done
+			if !f.failed {
+				c.coalesced.Add(1)
+				return f.val, Coalesced
+			}
+			// The owner panicked; race for a fresh flight.
+		}
+	}
+}
+
+// lookup is GetOrCompute's locked phase: a hit returns the value; a
+// miss returns the flight to wait on, or a freshly registered flight
+// (plus the shard generation it must commit against) when this caller
+// must run the compute.
+func (s *shard[V]) lookup(key string) (v V, f *flight[V], gen int64, state lookupState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	if e, ok := s.entries[key]; ok {
+		s.bumpLocked(e)
+		return e.val, nil, 0, lookupHit
+	}
+	if in, ok := s.inflight[key]; ok {
+		return v, in, 0, lookupWait
+	}
+	f = &flight[V]{done: make(chan struct{})}
+	s.inflight[key] = f
+	return v, f, s.gen, lookupOwner
+}
+
+// runFlight executes one singleflight compute (outside the shard lock)
+// and publishes its outcome: on success the flight resolves to the
+// value and — if compute said to store it and no InvalidateAll ran
+// since the flight registered — the entry is inserted; on panic the
+// deferred handler marks the flight failed, closes it, and deletes the
+// in-flight entry, waking every waiter, before the panic continues to
+// the caller.
+func (s *shard[V]) runFlight(c *Cache[V], key string, gen int64, f *flight[V], compute func() (V, bool)) V {
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		f.failed = true
+		close(f.done)
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+	}()
+
+	v, store := compute()
+
+	f.val = v
+	close(f.done)
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.tick++
+	// The generation check is the InvalidateAll seam: a flight that
+	// started before an invalidation must not re-seed the cleared map
+	// with a stale answer. Its waiters still receive the value — they
+	// joined a computation that began under the old state — but the
+	// memo stays empty for requests arriving after the invalidation.
+	if store && s.gen == gen {
+		s.putLocked(c, key, v)
+	}
+	s.mu.Unlock()
+	committed = true
+	return v
+}
+
+// bumpLocked applies the closed-form time decay then counts one hit
+// (see match.Cache.bumpLocked for why the closed form matters). The
+// caller must hold s.mu.
+func (s *shard[V]) bumpLocked(e *entry[V]) {
+	if age := s.tick - e.lastTick; age > maxDecayAge {
+		e.hits = 0
+	} else if age > 0 {
+		e.hits *= math.Pow(decay, float64(age))
+	}
+	e.hits++
+	e.lastTick = s.tick
+}
+
+// putLocked inserts or refreshes an entry, evicting the shard's
+// least-hit entry when the shard is full. Ties break on the smallest
+// key so eviction is deterministic: identical request streams leave
+// identical cache contents. The caller must hold s.mu.
+func (s *shard[V]) putLocked(c *Cache[V], key string, v V) {
+	if e, ok := s.entries[key]; ok {
+		e.val = v
+		s.bumpLocked(e)
+		return
+	}
+	if len(s.entries) >= s.cap {
+		s.evictWorstLocked(c)
+	}
+	s.entries[key] = &entry[V]{val: v, hits: 1, lastTick: s.tick}
+	c.size.Add(1)
+}
+
+// evictWorstLocked evicts the least-hit entry, ties broken on the
+// smallest key. The caller must hold s.mu.
+func (s *shard[V]) evictWorstLocked(c *Cache[V]) {
+	worstKey := ""
+	worst := 0.0
+	first := true
+	//lint:ignore detsource eviction scans the whole shard map and tie-breaks on smallest key, so order cannot matter
+	for k, e := range s.entries {
+		switch {
+		case first:
+			worstKey, worst, first = k, e.hits, false
+		case e.hits < worst:
+			worstKey, worst = k, e.hits
+		case e.hits > worst:
+		case k < worstKey: // equal hits: smallest key loses
+			worstKey = k
+		}
+	}
+	if first {
+		return
+	}
+	delete(s.entries, worstKey)
+	c.size.Add(-1)
+	c.evictions.Add(1)
+}
+
+// InvalidateAll drops every resident value and bumps each shard's
+// generation so in-flight computes cannot re-seed the map with stale
+// answers. This is the seam the dynamic-graphs work will call on every
+// mutation batch: a graph update invalidates all memoized answers at
+// once, and the next identical request recomputes against the new
+// state. In-flight waiters still receive their flight's value — they
+// joined a computation that began before the invalidation.
+func (c *Cache[V]) InvalidateAll() {
+	dropped := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.gen++
+		dropped += len(s.entries)
+		s.entries = map[string]*entry[V]{}
+		s.mu.Unlock()
+	}
+	c.size.Add(int64(-dropped))
+	c.invalidations.Add(1)
+}
+
+// Counters is the cache's full atomic counter set, snapshot lock-free.
+// Hits+Misses+Coalesced equals the number of completed GetOrCompute
+// calls (a panicking compute counts its Miss but delivers no value).
+// Size is the current resident entry count; the rest are cumulative.
+type Counters struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Coalesced     int64 `json:"coalesced"`
+	Evictions     int64 `json:"evictions"`
+	Size          int64 `json:"size"`
+	Invalidations int64 `json:"invalidations"`
+}
+
+// Counters snapshots every counter without taking a shard lock. Like
+// the star-view cache's snapshot, it is per-counter exact but not a
+// cross-counter instant under concurrent traffic.
+func (c *Cache[V]) Counters() Counters {
+	return Counters{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Evictions:     c.evictions.Load(),
+		Size:          c.size.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}

@@ -1,0 +1,67 @@
+// Shared conventions of the repo's benchmark emitters (the
+// TestEmitXxxBench tests behind make bench-*): every artifact records
+// "gomaxprocs", single-core runs are loudly flagged, and a single-core
+// run never silently clobbers a multi-core recording. The helpers were
+// grown in internal/chase's batch benchmark and are extracted here so
+// the serving benchmark (cmd/wqe-serve) and future emitters share one
+// guard instead of re-deriving it.
+
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// WarnSingleCore makes a one-core measurement impossible to misread:
+// every speedup in the artifact is ~1.0x by construction on such a
+// machine, and the artifact must be regenerated on a multi-core runner
+// (CI does this) before its numbers mean anything.
+func WarnSingleCore(t testing.TB) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) > 1 {
+		return
+	}
+	t.Log("*** WARNING *********************************************************")
+	t.Log("*** This benchmark ran with GOMAXPROCS=1: every parallel path     ***")
+	t.Log("*** degenerates to sequential, so speedups are ~1.0x by           ***")
+	t.Log("*** construction. Regenerate the JSON artifact on a machine with  ***")
+	t.Log("*** >=4 cores (make bench-* targets run in CI).                   ***")
+	t.Log("*********************************************************************")
+}
+
+// GuardSingleCoreOverwrite skips the emitter when it would replace an
+// existing multi-core recording with a single-core one: a laptop or
+// container run must not silently clobber CI's meaningful numbers with
+// ~1.0x noise. Every bench JSON schema carries "gomaxprocs", so the
+// guard reads it from the existing artifact. WQE_BENCH_FORCE=1
+// overrides (for deliberately re-baselining on a small machine).
+func GuardSingleCoreOverwrite(t testing.TB, out string) {
+	t.Helper()
+	if skip, prev := ShouldSkipOverwrite(out, runtime.GOMAXPROCS(0),
+		os.Getenv("WQE_BENCH_FORCE") == "1"); skip {
+		t.Skipf("refusing to overwrite %s (recorded with GOMAXPROCS=%d) from a single-core run; set WQE_BENCH_FORCE=1 to override", out, prev)
+	}
+}
+
+// ShouldSkipOverwrite is the guard's decision: skip iff this run is
+// single-core, unforced, and the existing artifact at out records a
+// multi-core run (whose GOMAXPROCS it returns).
+func ShouldSkipOverwrite(out string, gomaxprocs int, force bool) (bool, int) {
+	if gomaxprocs > 1 || force {
+		return false, 0
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		return false, 0 // nothing to clobber
+	}
+	var prev struct {
+		GOMAXPROCS int `json:"gomaxprocs"`
+	}
+	if json.Unmarshal(data, &prev) != nil || prev.GOMAXPROCS <= 1 {
+		return false, 0 // unreadable, or itself single-core: nothing of value lost
+	}
+	return true, prev.GOMAXPROCS
+}

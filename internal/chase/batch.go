@@ -134,7 +134,7 @@ func (s *Session) AskAll(jobs []BatchJob, opt BatchOptions) ([]BatchResult, Batc
 			results[i] = BatchResult{Err: ErrCancelled}
 			return
 		}
-		results[i] = s.runJob(jobs[i], submit, opt.Cancel)
+		results[i] = s.runMemo(jobs[i], submit, opt.Cancel)
 	})
 
 	stats := BatchStats{Jobs: len(jobs), Workers: workers}
@@ -162,9 +162,11 @@ func (s *Session) AskAll(jobs []BatchJob, opt BatchOptions) ([]BatchResult, Batc
 // with the job's cancel signal and deadline applied and its TimeLimit
 // anchored now — the single-question entry point a server calls per
 // request. Queue wait before this call is the caller's to account for
-// (set Deadline at admission).
+// (set Deadline at admission). With Config.AnswerCache on, identical
+// jobs are served from the answer memo (see memo.go): hits skip the
+// chase entirely and concurrent identical requests coalesce onto one.
 func (s *Session) Run(j BatchJob) BatchResult {
-	return s.runJob(j, s.clock(), nil)
+	return s.runMemo(j, s.clock(), nil)
 }
 
 // cancelled polls a cancel channel without blocking; nil never cancels.
@@ -192,8 +194,12 @@ func cancelledJob(j BatchJob, batch <-chan struct{}) bool {
 // runJob compiles and runs one batch job against the session's shared
 // state. submit is the instant the job was handed over (the AskAll
 // call or the server's admission), anchoring relative time limits so
-// queue wait is charged to the job.
-func (s *Session) runJob(j BatchJob, submit time.Time, batchCancel <-chan struct{}) BatchResult {
+// queue wait is charged to the job. detached strips every wall-clock
+// cutoff and cancel signal (MaxSteps still bounds the search) — the
+// answer memo runs its singleflight chases detached so the stored
+// answer is a pure function of the question, not of whichever waiter's
+// deadline happened to own the flight.
+func (s *Session) runJob(j BatchJob, submit time.Time, batchCancel <-chan struct{}, detached bool) BatchResult {
 	if j.Q == nil || j.E == nil {
 		return BatchResult{Err: errNilJob}
 	}
@@ -201,22 +207,28 @@ func (s *Session) runJob(j BatchJob, submit time.Time, batchCancel <-chan struct
 	if j.MaxSteps > 0 {
 		cfg.MaxSteps = j.MaxSteps
 	}
-	if j.TimeLimit > 0 {
-		cfg.TimeLimit = j.TimeLimit
-	}
-	// Convert the relative limit into an absolute deadline anchored at
-	// submission. Why.deadline gives Config.Deadline precedence over
-	// TimeLimit, so a queued job's wait is no longer free time.
-	switch {
-	case !j.Deadline.IsZero():
-		cfg.Deadline = j.Deadline
-	case cfg.TimeLimit > 0:
-		cfg.Deadline = submit.Add(cfg.TimeLimit)
-	}
-	if j.Cancel != nil {
-		cfg.Cancel = j.Cancel
-	} else if batchCancel != nil {
-		cfg.Cancel = batchCancel
+	if detached {
+		cfg.TimeLimit = 0
+		cfg.Deadline = time.Time{}
+		cfg.Cancel = nil
+	} else {
+		if j.TimeLimit > 0 {
+			cfg.TimeLimit = j.TimeLimit
+		}
+		// Convert the relative limit into an absolute deadline anchored
+		// at submission. Why.deadline gives Config.Deadline precedence
+		// over TimeLimit, so a queued job's wait is no longer free time.
+		switch {
+		case !j.Deadline.IsZero():
+			cfg.Deadline = j.Deadline
+		case cfg.TimeLimit > 0:
+			cfg.Deadline = submit.Add(cfg.TimeLimit)
+		}
+		if j.Cancel != nil {
+			cfg.Cancel = j.Cancel
+		} else if batchCancel != nil {
+			cfg.Cancel = batchCancel
+		}
 	}
 	w, err := newWhyWith(s.G, j.Q, j.E, cfg, s.dist, s.cache, s.budget)
 	if err != nil {

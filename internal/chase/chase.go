@@ -74,6 +74,19 @@ type Config struct {
 	// setting only changes which tables stay resident, never their
 	// contents, so output stays byte-identical.
 	CacheWeight int
+	// AnswerCache enables the session-level answer memo with request
+	// coalescing: batch jobs (Session.Run / AskAll) are keyed by a
+	// canonical digest of (graph identity, algo, query, exemplar, search
+	// options — deadlines and cancel signals excluded), identical
+	// concurrent requests share exactly one chase, and finished answers
+	// stay resident for later identical requests. AnswerCacheCap bounds
+	// the number of resident answers (default 4096 when enabled).
+	// Off by default: a memoized job returns the complete answer the
+	// unbounded-deadline chase produced, which a deadline-limited caller
+	// may observe as *more* complete than an uncached run — servers opt
+	// in for throughput, libraries keep exact per-call semantics.
+	AnswerCache    bool
+	AnswerCacheCap int
 	// Prune enables the cl⁺ pruning strategies of Lemma 5.5.
 	Prune bool
 	// MaxOpsPerClass caps how many picky operators one state generates
@@ -152,6 +165,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheCap <= 0 {
 		c.CacheCap = d.CacheCap
+	}
+	if c.AnswerCacheCap <= 0 {
+		c.AnswerCacheCap = 4096
 	}
 	if c.MaxOpsPerClass <= 0 {
 		c.MaxOpsPerClass = 64

@@ -1,0 +1,237 @@
+package chase_test
+
+import (
+	"testing"
+
+	"wqe/internal/chase"
+	"wqe/internal/datagen"
+	"wqe/internal/par"
+)
+
+func memoConfig() chase.Config {
+	cfg := chase.DefaultConfig()
+	cfg.Cache = true
+	cfg.MaxSteps = 300
+	cfg.AnswerCache = true
+	return cfg
+}
+
+// TestMemoCountingOracle is the coalescing gate: K concurrent identical
+// requests execute exactly one chase — the session Questions counter is
+// the oracle, since only real chases increment it — and every caller
+// receives an identical answer.
+func TestMemoCountingOracle(t *testing.T) {
+	g, instances := genInstances(t, datagen.DatasetProducts, 800, 1, 3)
+	sess := chase.NewSession(g, memoConfig())
+	job := chase.BatchJob{Q: instances[0].Q, E: instances[0].E}
+
+	const K = 8
+	results := make([]chase.BatchResult, K)
+	var grp par.Group
+	for i := 0; i < K; i++ {
+		i := i
+		grp.Go(func() { results[i] = sess.Run(job) })
+	}
+	grp.Wait()
+
+	sc := sess.Counters()
+	if sc.Questions != 1 {
+		t.Fatalf("Questions = %d, want exactly 1 chase for %d identical requests", sc.Questions, K)
+	}
+	ac := sc.AnswerCache
+	if ac.Misses != 1 || ac.Hits+ac.Coalesced != K-1 {
+		t.Fatalf("answer cache counters = %+v, want 1 miss and %d hits+coalesced", ac, K-1)
+	}
+	ref := results[0]
+	if ref.Err != nil {
+		t.Fatalf("request failed: %v", ref.Err)
+	}
+	refR := renderAnswer(ref.Answer)
+	for i := 1; i < K; i++ {
+		if results[i].Err != nil {
+			t.Fatalf("request %d failed: %v", i, results[i].Err)
+		}
+		if r := renderAnswer(results[i].Answer); r != refR ||
+			results[i].Steps != ref.Steps || results[i].States != ref.States {
+			t.Errorf("request %d diverged from request 0:\n%s\nvs\n%s", i, r, refR)
+		}
+	}
+}
+
+// TestMemoOffIdentical pins that the memo is invisible in the answers:
+// the same job stream through a cache-on and a cache-off session
+// renders identical rewrites, steps, and states (only wall-clock
+// Elapsed may differ).
+func TestMemoOffIdentical(t *testing.T) {
+	g, instances := genInstances(t, datagen.DatasetProducts, 800, 3, 3)
+	// Repeat every question so the memo path actually serves hits.
+	var jobs []chase.BatchJob
+	for _, inst := range instances {
+		j := chase.BatchJob{Q: inst.Q, E: inst.E}
+		jobs = append(jobs, j, j)
+	}
+
+	on := memoConfig()
+	off := memoConfig()
+	off.AnswerCache = false
+
+	run := func(cfg chase.Config) []chase.BatchResult {
+		sess := chase.NewSession(g, cfg)
+		out := make([]chase.BatchResult, len(jobs))
+		for i, j := range jobs {
+			out[i] = sess.Run(j)
+		}
+		sc := sess.Counters()
+		if cfg.AnswerCache {
+			if sc.Questions != int64(len(instances)) || sc.AnswerCache.Hits != int64(len(instances)) {
+				t.Fatalf("cache-on counters = %+v, want %d chases and as many hits", sc, len(instances))
+			}
+		} else if sc.Questions != int64(len(jobs)) {
+			t.Fatalf("cache-off Questions = %d, want %d", sc.Questions, len(jobs))
+		}
+		return out
+	}
+
+	rOn, rOff := run(on), run(off)
+	for i := range jobs {
+		if rOn[i].Err != nil || rOff[i].Err != nil {
+			t.Fatalf("job %d errs: on=%v off=%v", i, rOn[i].Err, rOff[i].Err)
+		}
+		if renderAnswer(rOn[i].Answer) != renderAnswer(rOff[i].Answer) ||
+			rOn[i].Steps != rOff[i].Steps || rOn[i].States != rOff[i].States {
+			t.Errorf("job %d: cache-on answer differs from cache-off", i)
+		}
+	}
+}
+
+// TestMemoWaiterCancelDetached: a cancelled requester must not truncate
+// the flight the other waiters share. Flights run detached, so even a
+// request whose Cancel is already closed at submission receives the
+// complete memoized answer, identical to everyone else's.
+func TestMemoWaiterCancelDetached(t *testing.T) {
+	g, instances := genInstances(t, datagen.DatasetProducts, 800, 1, 3)
+	sess := chase.NewSession(g, memoConfig())
+	cancelled := make(chan struct{})
+	close(cancelled)
+
+	const K = 6
+	results := make([]chase.BatchResult, K)
+	var grp par.Group
+	for i := 0; i < K; i++ {
+		i := i
+		j := chase.BatchJob{Q: instances[0].Q, E: instances[0].E}
+		if i%2 == 1 {
+			j.Cancel = cancelled
+		}
+		grp.Go(func() { results[i] = sess.Run(j) })
+	}
+	grp.Wait()
+
+	if sc := sess.Counters(); sc.Questions != 1 {
+		t.Fatalf("Questions = %d, want 1 shared chase", sc.Questions)
+	}
+	ref := renderAnswer(results[0].Answer)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		if renderAnswer(r.Answer) != ref {
+			t.Errorf("request %d (cancel=%v) diverged from the shared flight", i, i%2 == 1)
+		}
+	}
+}
+
+// TestMemoKeying pins the canonical-key contract: algorithm aliases
+// ("" vs "answ"; Beam>0 vs explicit "heu") share entries, different
+// algorithms do not, and unknown algorithms bypass the memo entirely.
+func TestMemoKeying(t *testing.T) {
+	g, instances := genInstances(t, datagen.DatasetProducts, 800, 1, 3)
+	sess := chase.NewSession(g, memoConfig())
+	q, e := instances[0].Q, instances[0].E
+
+	// "" and "answ" are the same algorithm — one chase.
+	sess.Run(chase.BatchJob{Q: q, E: e})
+	sess.Run(chase.BatchJob{Q: q, E: e, Algo: "answ"})
+	if sc := sess.Counters(); sc.Questions != 1 || sc.AnswerCache.Hits != 1 {
+		t.Fatalf("answ alias: %+v, want 1 chase + 1 hit", sc)
+	}
+
+	// Bare Beam=3, "heu" with Beam=3, and "heu" with the default width
+	// all resolve to heu:3 — one more chase, two more hits.
+	sess.Run(chase.BatchJob{Q: q, E: e, Beam: 3})
+	sess.Run(chase.BatchJob{Q: q, E: e, Algo: "heu", Beam: 3})
+	sess.Run(chase.BatchJob{Q: q, E: e, Algo: "heu"})
+	if sc := sess.Counters(); sc.Questions != 2 || sc.AnswerCache.Hits != 3 {
+		t.Fatalf("heu alias: %+v, want 2 chases + 3 hits", sc)
+	}
+
+	// A different beam width is a different question.
+	sess.Run(chase.BatchJob{Q: q, E: e, Beam: 5})
+	if sc := sess.Counters(); sc.Questions != 3 {
+		t.Fatalf("beam width not in key: %+v", sc)
+	}
+
+	// Unknown algorithm: an error, and no memo traffic at all.
+	before := sess.Counters().AnswerCache
+	if r := sess.Run(chase.BatchJob{Q: q, E: e, Algo: "bogus"}); r.Err == nil {
+		t.Fatal("unknown algo must fail")
+	}
+	after := sess.Counters().AnswerCache
+	if before != after {
+		t.Fatalf("unknown algo touched the memo: %+v vs %+v", before, after)
+	}
+}
+
+// TestMemoInvalidateAnswers: the dynamic-graphs seam. After an
+// invalidation the same question chases again.
+func TestMemoInvalidateAnswers(t *testing.T) {
+	g, instances := genInstances(t, datagen.DatasetProducts, 800, 1, 3)
+	sess := chase.NewSession(g, memoConfig())
+	job := chase.BatchJob{Q: instances[0].Q, E: instances[0].E}
+
+	r1 := sess.Run(job)
+	sess.InvalidateAnswers()
+	r2 := sess.Run(job)
+	sc := sess.Counters()
+	if sc.Questions != 2 || sc.AnswerCache.Misses != 2 || sc.AnswerCache.Invalidations != 1 {
+		t.Fatalf("counters = %+v, want 2 chases, 2 misses, 1 invalidation", sc)
+	}
+	// The graph did not actually change, so the recomputed answer is
+	// byte-identical — determinism across invalidation.
+	if renderAnswer(r1.Answer) != renderAnswer(r2.Answer) {
+		t.Error("recomputed answer diverged from the original")
+	}
+}
+
+// TestMemoAskAll routes the batch path through the memo too: a batch of
+// repeated jobs executes one chase per distinct question for every
+// worker count, with results identical to the memo-off batch.
+func TestMemoAskAll(t *testing.T) {
+	g, instances := genInstances(t, datagen.DatasetProducts, 800, 2, 3)
+	var jobs []chase.BatchJob
+	for _, inst := range instances {
+		j := chase.BatchJob{Q: inst.Q, E: inst.E}
+		jobs = append(jobs, j, j, j)
+	}
+
+	off := memoConfig()
+	off.AnswerCache = false
+	refResults, _ := chase.NewSession(g, off).AskAll(jobs, chase.BatchOptions{Workers: 1})
+
+	for _, workers := range []int{1, 4} {
+		sess := chase.NewSession(g, memoConfig())
+		results, stats := sess.AskAll(jobs, chase.BatchOptions{Workers: workers})
+		if stats.Failed != 0 {
+			t.Fatalf("workers=%d: %d failed jobs", workers, stats.Failed)
+		}
+		if sc := sess.Counters(); sc.Questions != int64(len(instances)) {
+			t.Errorf("workers=%d: %d chases, want %d", workers, sc.Questions, len(instances))
+		}
+		for i := range jobs {
+			if renderAnswer(results[i].Answer) != renderAnswer(refResults[i].Answer) ||
+				results[i].Steps != refResults[i].Steps {
+				t.Errorf("workers=%d job %d diverged from memo-off reference", workers, i)
+			}
+		}
+	}
+}

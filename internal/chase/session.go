@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wqe/internal/anscache"
 	"wqe/internal/distindex"
 	"wqe/internal/exemplar"
 	"wqe/internal/graph"
@@ -33,6 +34,11 @@ type Session struct {
 	dist   distindex.Index
 	cache  *match.Cache
 	budget *par.Budget
+
+	// ans is the answer memo (Config.AnswerCache): finished batch-job
+	// results keyed by canonical question digest, with singleflight
+	// coalescing. nil when disabled. See memo.go.
+	ans *anscache.Cache[BatchResult]
 
 	// questions/steps accumulate across every question the session ran
 	// to completion (Ask, AskFast, Run, AskAll jobs, AskMultiFocus
@@ -71,6 +77,9 @@ func NewSessionWithIndex(g *graph.Graph, cfg Config, idx distindex.Index) *Sessi
 	}
 	if cfg.Cache {
 		s.cache = match.NewCacheWeighted(cfg.CacheCap, 0.95, cfg.CacheShards, cfg.CacheWeight)
+	}
+	if cfg.AnswerCache {
+		s.ans = anscache.New[BatchResult](cfg.AnswerCacheCap, 0)
 	}
 	return s
 }
@@ -140,6 +149,11 @@ type SessionCounters struct {
 	// Cache is the shared star-view cache's full counter set (zero
 	// values when the session runs uncached).
 	Cache match.CacheCounters `json:"cache"`
+	// AnswerCache is the answer memo's counter set (zero values when
+	// Config.AnswerCache is off). Hits+Misses+Coalesced equals the
+	// number of memo-eligible jobs served; Questions above counts only
+	// the chases actually executed (the misses).
+	AnswerCache anscache.Counters `json:"answer_cache"`
 }
 
 // Counters snapshots the session's cumulative counters lock-free.
@@ -150,6 +164,9 @@ func (s *Session) Counters() SessionCounters {
 	}
 	if s.cache != nil {
 		c.Cache = s.cache.Counters()
+	}
+	if s.ans != nil {
+		c.AnswerCache = s.ans.Counters()
 	}
 	return c
 }

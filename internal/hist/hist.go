@@ -1,0 +1,142 @@
+// Package hist provides a lock-free power-of-two-bucket latency
+// histogram, shared by the serving layer's /stats endpoint and the
+// closed-loop load generator so both report percentiles computed the
+// same way. No external dependencies: buckets are a fixed array of
+// atomic counters indexed by the bit length of the observed duration in
+// nanoseconds, so Observe is a couple of atomic adds and a CAS, cheap
+// enough to sit on a serving hot path.
+package hist
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// nBuckets covers every possible duration: bucket i holds observations
+// whose nanosecond count has bit length i, i.e. values in
+// [2^(i-1), 2^i); bucket 0 holds exactly zero. bits.Len64 never exceeds
+// 64, so 65 buckets suffice.
+const nBuckets = 65
+
+// Hist is a concurrent latency histogram. The zero value is ready to
+// use. All methods are safe for concurrent callers; every field is
+// accessed only through sync/atomic.
+type Hist struct {
+	buckets [nBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total observed nanoseconds
+	max     atomic.Int64 // largest observed nanoseconds
+}
+
+// bucketFor maps a duration to its bucket index. Negative durations
+// (clock weirdness) clamp to zero rather than corrupting the index.
+func bucketFor(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d))
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Snapshot copies the histogram's counters into an immutable view.
+// Under concurrent Observe traffic the copy is per-bucket exact but not
+// a single cross-bucket instant — fine for stats reporting.
+func (h *Hist) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+		s.count += s.buckets[i]
+	}
+	s.sum = h.sum.Load()
+	s.max = time.Duration(h.max.Load())
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Hist, safe to read without
+// synchronization.
+type Snapshot struct {
+	buckets [nBuckets]int64
+	count   int64
+	sum     int64
+	max     time.Duration
+}
+
+// Count returns the number of observations in the snapshot.
+func (s Snapshot) Count() int64 { return s.count }
+
+// Max returns the largest observed duration.
+func (s Snapshot) Max() time.Duration { return s.max }
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s Snapshot) Mean() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.sum / s.count)
+}
+
+// Quantile returns an upper bound for the p-quantile (0 < p ≤ 1): the
+// upper edge of the first bucket whose cumulative count reaches
+// ⌈p·count⌉, clamped to the exact observed maximum. With power-of-two
+// buckets the bound is within 2x of the true quantile, which is the
+// honest resolution this histogram trades for lock-freedom; p50/p95/p99
+// read through this. An empty snapshot returns 0.
+func (s Snapshot) Quantile(p float64) time.Duration {
+	if s.count == 0 || p <= 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// ⌈p·count⌉ without importing math: the target rank is the smallest
+	// integer ≥ p·count, at least 1.
+	target := int64(p * float64(s.count))
+	if float64(target) < p*float64(s.count) {
+		target++
+	}
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	for i, c := range s.buckets {
+		cum += c
+		if cum >= target {
+			upper := bucketUpper(i)
+			if upper > s.max {
+				return s.max
+			}
+			return upper
+		}
+	}
+	return s.max
+}
+
+// bucketUpper returns the largest duration bucket i can hold.
+func bucketUpper(i int) time.Duration {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return time.Duration(int64(^uint64(0) >> 1)) // clamp at MaxInt64 ns
+	}
+	return time.Duration((uint64(1) << uint(i)) - 1)
+}

@@ -1,0 +1,111 @@
+package hist
+
+import (
+	"testing"
+	"time"
+
+	"wqe/internal/par"
+)
+
+func TestEmptySnapshot(t *testing.T) {
+	var h Hist
+	s := h.Snapshot()
+	if s.Count() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot: count=%d max=%v mean=%v", s.Count(), s.Max(), s.Mean())
+	}
+	if q := s.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+	}
+	for _, tc := range cases {
+		if got := bucketFor(tc.d); got != tc.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileBounds pins the quantile contract: the reported value is
+// an upper bound within one power-of-two bucket of the true quantile,
+// and never exceeds the observed max.
+func TestQuantileBounds(t *testing.T) {
+	var h Hist
+	// 100 observations: 1ms ×90, 10ms ×9, 100ms ×1.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+
+	s := h.Snapshot()
+	if s.Count() != 100 {
+		t.Fatalf("count = %d, want 100", s.Count())
+	}
+	if s.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v, want 100ms", s.Max())
+	}
+	// p50 lands in the 1ms bucket: upper bound < 2ms.
+	if q := s.Quantile(0.50); q < time.Millisecond || q >= 2*time.Millisecond {
+		t.Errorf("p50 = %v, want in [1ms, 2ms)", q)
+	}
+	// p95 lands in the 10ms bucket: upper bound < 20ms.
+	if q := s.Quantile(0.95); q < 10*time.Millisecond || q >= 20*time.Millisecond {
+		t.Errorf("p95 = %v, want in [10ms, 20ms)", q)
+	}
+	// p100 is clamped to the exact max.
+	if q := s.Quantile(1); q != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want exactly 100ms", q)
+	}
+}
+
+// TestQuantileClampedToMax: when the quantile bucket's upper edge
+// exceeds the true max, the max wins — p99 of a uniform set can never
+// exceed the largest observation.
+func TestQuantileClampedToMax(t *testing.T) {
+	var h Hist
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // bucket [512, 1024); upper edge 1023
+	}
+	if q := h.Snapshot().Quantile(0.99); q != 1000 {
+		t.Fatalf("p99 = %v, want clamped to max 1000ns", q)
+	}
+}
+
+func TestMean(t *testing.T) {
+	var h Hist
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	if m := h.Snapshot().Mean(); m != 3*time.Millisecond {
+		t.Fatalf("mean = %v, want 3ms", m)
+	}
+}
+
+// TestConcurrentObserve hammers one histogram from many goroutines;
+// run under -race this pins the lock-free contract, and the final
+// count/sum must be exact regardless of interleaving.
+func TestConcurrentObserve(t *testing.T) {
+	var h Hist
+	const workers, per = 8, 1000
+	par.ForEach(workers, workers, func(w int) {
+		for i := 0; i < per; i++ {
+			h.Observe(time.Duration(w*1000 + i))
+		}
+	})
+	s := h.Snapshot()
+	if s.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count(), workers*per)
+	}
+	if s.Max() != time.Duration(7*1000+999) {
+		t.Fatalf("max = %v, want %v", s.Max(), time.Duration(7999))
+	}
+}

@@ -1,0 +1,90 @@
+package cache
+
+import "sync"
+
+// Memo mirrors the answer cache's singleflight stripes: each stripe
+// owns a mutex guarding its entry map, its in-flight map, and its
+// invalidation generation. The owner computes outside the lock and
+// publishes under it only if the generation is unchanged; waiters
+// block on the flight's done channel outside the lock. lockcheck must
+// accept that discipline and still flag any guarded touch that skips
+// the stripe's own mutex.
+type Memo struct {
+	stripes []memoStripe
+}
+
+// memoStripe is one lock stripe of the memo.
+type memoStripe struct {
+	mu      sync.Mutex
+	gen     uint64         // guarded by mu
+	entries map[string]int // guarded by mu
+	flights map[string]*memoFlight
+}
+
+// memoFlight is one in-progress computation; val is written once by
+// the owner before close(done) and read by waiters only after it.
+type memoFlight struct {
+	done chan struct{}
+	val  int
+}
+
+// Get is the clean singleflight lookup: every touch of the guarded
+// state happens under the stripe's lock, the wait and the compute
+// happen outside it, and the store re-checks the generation.
+func (m *Memo) Get(i int, key string, compute func() int) int {
+	st := &m.stripes[i]
+	st.mu.Lock()
+	if v, ok := st.entries[key]; ok {
+		st.mu.Unlock()
+		return v
+	}
+	if f, ok := st.flights[key]; ok {
+		st.mu.Unlock()
+		<-f.done
+		return f.val
+	}
+	f := &memoFlight{done: make(chan struct{})}
+	if st.flights == nil {
+		st.flights = map[string]*memoFlight{}
+	}
+	st.flights[key] = f
+	gen := st.gen
+	st.mu.Unlock()
+
+	f.val = compute()
+
+	st.mu.Lock()
+	if st.gen == gen {
+		if st.entries == nil {
+			st.entries = map[string]int{}
+		}
+		st.entries[key] = f.val
+	}
+	delete(st.flights, key)
+	st.mu.Unlock()
+	close(f.done)
+	return f.val
+}
+
+// SeedRacy publishes a value without the stripe's lock: flagged at the
+// guarded-map write.
+func (m *Memo) SeedRacy(i int, key string, v int) {
+	m.stripes[i].entries[key] = v // want lockcheck
+}
+
+// GenRacy reads the invalidation generation without the lock: flagged.
+func (m *Memo) GenRacy(i int) uint64 {
+	return m.stripes[i].gen // want lockcheck
+}
+
+// InvalidateAll bumps every stripe's generation and drops its entries
+// under that stripe's own lock: clean.
+func (m *Memo) InvalidateAll() {
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		st.gen++
+		st.entries = map[string]int{}
+		st.mu.Unlock()
+	}
+}

@@ -1,0 +1,268 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubServer counts requests per path and answers with the configured
+// status per path (default 200).
+type stubServer struct {
+	mu     sync.Mutex
+	counts map[string]int
+	status map[string]int
+}
+
+func newStub() *stubServer {
+	return &stubServer{counts: map[string]int{}, status: map[string]int{}}
+}
+
+func (s *stubServer) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	if _, err := io.Copy(io.Discard, r.Body); err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	s.counts[r.URL.Path]++
+	status := s.status[r.URL.Path]
+	s.mu.Unlock()
+	if status != 0 && status != http.StatusOK {
+		http.Error(rw, "stub error", status)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	if _, err := rw.Write([]byte(`{"ok":true}` + "\n")); err != nil {
+		return
+	}
+}
+
+func (s *stubServer) count(path string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[path]
+}
+
+func testOptions(url string) Options {
+	return Options{
+		BaseURL:     url,
+		Graph:       "g",
+		Mix:         map[string]float64{"/ask": 3, "/why": 1},
+		Pool:        Fig1Pool(),
+		Clients:     4,
+		Duration:    30 * time.Second, // MaxRequests stops the run first
+		MaxRequests: 200,
+		Seed:        7,
+	}
+}
+
+// TestRunBasics drives the stub and checks the report's accounting:
+// every issued request is recorded (no warmup here), the mix hits both
+// endpoints with /ask dominating, counters balance, and quantiles are
+// ordered and clamped.
+func TestRunBasics(t *testing.T) {
+	stub := newStub()
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+
+	rep, err := Run(testOptions(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 200 {
+		t.Fatalf("requests = %d, want exactly MaxRequests 200", rep.Requests)
+	}
+	if rep.ErrorRate != 0 || rep.Status["200"] != 200 {
+		t.Fatalf("status accounting: rate=%v status=%v", rep.ErrorRate, rep.Status)
+	}
+	ask, why := rep.Endpoints["/ask"], rep.Endpoints["/why"]
+	if ask.Count+why.Count != 200 {
+		t.Fatalf("endpoint counts %d+%d don't sum to 200", ask.Count, why.Count)
+	}
+	if ask.Count <= why.Count {
+		t.Errorf("mix ignored: /ask %d vs /why %d with 3:1 ratios", ask.Count, why.Count)
+	}
+	if int(ask.Count) != stub.count("/ask") || int(why.Count) != stub.count("/why") {
+		t.Errorf("report counts (%d, %d) disagree with server (%d, %d)",
+			ask.Count, why.Count, stub.count("/ask"), stub.count("/why"))
+	}
+	for ep, er := range map[string]EndpointReport{"/ask": ask, "/why": why} {
+		if er.P50MS <= 0 || er.P50MS > er.P95MS || er.P95MS > er.P99MS || er.P99MS > er.MaxMS {
+			t.Errorf("%s quantiles out of order: %+v", ep, er)
+		}
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Errorf("achieved RPS = %v", rep.AchievedRPS)
+	}
+}
+
+// TestRunDeterministicSampling: the same seed replays the same
+// endpoint draws — with one client the per-endpoint counts are exact
+// replicas across runs.
+func TestRunDeterministicSampling(t *testing.T) {
+	run := func() (int64, int64) {
+		ts := httptest.NewServer(newStub())
+		defer ts.Close()
+		opt := testOptions(ts.URL)
+		opt.Clients = 1
+		opt.MaxRequests = 100
+		rep, err := Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Endpoints["/ask"].Count, rep.Endpoints["/why"].Count
+	}
+	a1, w1 := run()
+	a2, w2 := run()
+	if a1 != a2 || w1 != w2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", a1, w1, a2, w2)
+	}
+}
+
+// TestRunErrorBreakdown: non-200 responses land in the status map and
+// the per-endpoint error counts, and never in the latency histograms.
+func TestRunErrorBreakdown(t *testing.T) {
+	stub := newStub()
+	stub.status["/why"] = http.StatusUnprocessableEntity
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+
+	rep, err := Run(testOptions(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	why := rep.Endpoints["/why"]
+	if why.Errors != why.Count || why.Count == 0 {
+		t.Fatalf("/why errors = %d of %d, want all", why.Errors, why.Count)
+	}
+	if rep.Status["422"] != why.Count {
+		t.Fatalf("status map: %v, want %d 422s", rep.Status, why.Count)
+	}
+	if why.MaxMS != 0 {
+		t.Errorf("failed requests leaked into the latency histogram: %+v", why)
+	}
+	wantRate := float64(why.Count) / float64(rep.Requests)
+	if rep.ErrorRate != wantRate {
+		t.Errorf("error rate %v, want %v", rep.ErrorRate, wantRate)
+	}
+}
+
+// TestRunWarmupExcluded: with MaxRequests only slightly above what the
+// warmup window absorbs, recorded requests are strictly fewer than
+// issued ones.
+func TestRunWarmupExcluded(t *testing.T) {
+	ts := httptest.NewServer(newStub())
+	defer ts.Close()
+	opt := testOptions(ts.URL)
+	opt.Clients = 2
+	opt.MaxRequests = 50
+	opt.Warmup = 50 * time.Millisecond
+	opt.Duration = 30 * time.Second
+	rep, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests >= 50 {
+		t.Fatalf("recorded %d of 50 issued — warmup window excluded nothing", rep.Requests)
+	}
+}
+
+// TestRunPacer: a throttled run must not exceed its target rate by more
+// than bucket slack.
+func TestRunPacer(t *testing.T) {
+	ts := httptest.NewServer(newStub())
+	defer ts.Close()
+	opt := testOptions(ts.URL)
+	opt.TargetRPS = 100
+	opt.MaxRequests = 60
+	opt.Duration = 30 * time.Second
+	start := time.Now()
+	rep, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if rep.Requests != 60 {
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	// 60 requests at 100 rps need ≥ ~590ms; unthrottled the stub would
+	// serve them in a few ms.
+	if elapsed < 500*time.Millisecond {
+		t.Errorf("pacer did not throttle: 60 requests at 100 rps finished in %v", elapsed)
+	}
+}
+
+// TestRunValidation pins the error paths.
+func TestRunValidation(t *testing.T) {
+	base := Options{
+		BaseURL: "http://127.0.0.1:1", Graph: "g",
+		Mix: map[string]float64{"/ask": 1}, Pool: Fig1Pool(), MaxRequests: 1,
+	}
+	cases := []struct {
+		name string
+		mut  func(*Options)
+		want error
+	}{
+		{"no url", func(o *Options) { o.BaseURL = "" }, errNoBaseURL},
+		{"no pool", func(o *Options) { o.Pool = nil }, errNoPool},
+		{"no mix", func(o *Options) { o.Mix = nil }, errNoMix},
+		{"zero ratios", func(o *Options) { o.Mix = map[string]float64{"/ask": 0} }, errNoMix},
+		{"no stop", func(o *Options) { o.MaxRequests = 0; o.Duration = 0 }, errNoStop},
+	}
+	for _, tc := range cases {
+		opt := base
+		tc.mut(&opt)
+		if _, err := Run(opt); err != tc.want {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Transport failures are counted, not fatal: port 1 refuses.
+	rep, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status["error"] != rep.Requests || rep.ErrorRate != 1 {
+		t.Errorf("transport errors not accounted: %+v", rep)
+	}
+}
+
+// TestBuildCDF pins normalization and slash-prefix handling.
+func TestBuildCDF(t *testing.T) {
+	cdf, err := buildCDF(map[string]float64{"ask": 1, "/why": 3, "/skip": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdf) != 2 || cdf[0].endpoint != "/ask" || cdf[1].endpoint != "/why" {
+		t.Fatalf("cdf = %+v", cdf)
+	}
+	if cdf[1].cum != 1 {
+		t.Fatalf("cdf not normalized: %+v", cdf)
+	}
+	if got := sample(cdf, 0.1); got != "/ask" {
+		t.Errorf("sample(0.1) = %s", got)
+	}
+	if got := sample(cdf, 0.9); got != "/why" {
+		t.Errorf("sample(0.9) = %s", got)
+	}
+	if got := sample(cdf, 1.0); got != "/why" {
+		t.Errorf("sample(1.0) = %s", got)
+	}
+}
+
+// TestFig1PoolParses: the shared fixture must stay valid JSON.
+func TestFig1PoolParses(t *testing.T) {
+	for _, p := range Fig1Pool() {
+		var q, e interface{}
+		if err := json.Unmarshal(p.Query, &q); err != nil {
+			t.Errorf("query: %v", err)
+		}
+		if err := json.Unmarshal(p.Exemplar, &e); err != nil {
+			t.Errorf("exemplar: %v", err)
+		}
+	}
+}
